@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation — hybrid-mode switch threshold (DESIGN.md SS7.4).
+ *
+ * The paper switches to software lookups below ~64 active flows. This
+ * bench measures classification cost of pure-Software, pure-HALO, and
+ * Hybrid datapaths across active-flow counts, and sweeps the threshold
+ * to locate the crossover.
+ */
+
+#include "bench_common.hh"
+#include "flow/ruleset.hh"
+#include "vswitch/vswitch.hh"
+
+using namespace halo;
+using namespace halo::bench;
+
+namespace {
+
+double
+runMode(LookupMode mode, std::uint64_t flows, double threshold)
+{
+    Machine m(2ull << 30);
+    m.halo.hybrid() = HybridController(HybridController::Config{
+        32, threshold, 512, ComputeMode::Halo});
+
+    TrafficGenerator gen(TrafficGenerator::scenarioConfig(
+        TrafficScenario::SmallFlowCount, flows));
+    const RuleSet rules = scenarioRules(TrafficScenario::SmallFlowCount,
+                                        gen.flows(), 0xab1);
+    VSwitchConfig vcfg;
+    vcfg.mode = mode;
+    vcfg.useEmc = false; // isolate the table-lookup engines
+    vcfg.tupleConfig.tupleCapacity =
+        nextPowerOfTwo(maxRulesPerMask(rules) + 2);
+    VirtualSwitch vs(m.mem, m.hier, m.core, &m.halo, vcfg);
+    vs.installRules(rules);
+    vs.warmTables();
+
+    for (int i = 0; i < 1500; ++i)
+        vs.classifyTuple(gen.nextTuple());
+    vs.resetTotals();
+    const Cycles begin = vs.now();
+    constexpr unsigned packets = 1500;
+    for (unsigned i = 0; i < packets; ++i)
+        vs.classifyTuple(gen.nextTuple());
+    return static_cast<double>(vs.now() - begin) / packets;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: hybrid threshold",
+           "classification cycles/packet vs active flow count");
+    std::printf("%9s | %10s %10s %10s\n", "flows", "software",
+                "halo_nb", "hybrid@64");
+    std::printf("TSV: flows\tsoftware\thalo\thybrid64\n");
+    for (const std::uint64_t flows :
+         {4ull, 16ull, 64ull, 256ull, 1024ull, 8192ull}) {
+        const double sw = runMode(LookupMode::Software, flows, 64);
+        const double halo =
+            runMode(LookupMode::HaloNonBlocking, flows, 64);
+        const double hybrid = runMode(LookupMode::Hybrid, flows, 64);
+        std::printf("%9llu | %10.1f %10.1f %10.1f\n",
+                    static_cast<unsigned long long>(flows), sw, halo,
+                    hybrid);
+        std::printf("%llu\t%.1f\t%.1f\t%.1f\n",
+                    static_cast<unsigned long long>(flows), sw, halo,
+                    hybrid);
+    }
+
+    std::printf("\nthreshold sweep at 32 and 2048 flows:\n");
+    std::printf("TSV2: threshold\tat32flows\tat2048flows\n");
+    for (const double thresh : {8.0, 32.0, 64.0, 256.0, 4096.0}) {
+        const double small = runMode(LookupMode::Hybrid, 32, thresh);
+        const double large = runMode(LookupMode::Hybrid, 2048, thresh);
+        std::printf("thr=%6.0f %10.1f %10.1f\n", thresh, small, large);
+        std::printf("%.0f\t%.1f\t%.1f\n", thresh, small, large);
+    }
+    std::printf("\nexpected: hybrid tracks the better engine on both "
+                "ends; thresholds far above/below ~64 mis-assign one "
+                "of the regimes\n");
+    return 0;
+}

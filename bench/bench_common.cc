@@ -1,0 +1,137 @@
+#include "bench_common.hh"
+
+namespace halo::bench {
+
+namespace {
+
+constexpr std::uint64_t chunkSize = 512;
+
+} // namespace
+
+void
+warmupLookups(Machine &m, const CuckooHashTable &table,
+              std::uint64_t populated, std::uint64_t count)
+{
+    Xoshiro256 rng(0x3a3a);
+    Cycles now = 0;
+    for (std::uint64_t i = 0; i < count; i += chunkSize) {
+        OpTrace ops;
+        for (std::uint64_t j = 0; j < chunkSize && i + j < count; ++j) {
+            const auto key = keyForId(rng.nextBounded(populated));
+            AccessTrace refs;
+            table.lookup(KeyView(key.data(), key.size()), &refs);
+            m.builder.lowerTableOp(refs, ops);
+        }
+        now = m.core.run(ops, now).endCycle;
+    }
+}
+
+double
+measureSoftwareLookups(Machine &m, const CuckooHashTable &table,
+                       std::uint64_t populated, std::uint64_t lookups,
+                       std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    Cycles now = 0;
+    bool first = true;
+    Cycles begin = 0;
+    for (std::uint64_t i = 0; i < lookups; i += chunkSize) {
+        OpTrace ops;
+        for (std::uint64_t j = 0; j < chunkSize && i + j < lookups;
+             ++j) {
+            const auto key = keyForId(rng.nextBounded(populated));
+            AccessTrace refs;
+            table.lookup(KeyView(key.data(), key.size()), &refs);
+            m.builder.lowerTableOp(refs, ops);
+        }
+        const RunResult rr = m.core.run(ops, now);
+        if (first) {
+            begin = rr.startCycle;
+            first = false;
+        }
+        now = rr.endCycle;
+    }
+    return static_cast<double>(now - begin) /
+           static_cast<double>(lookups);
+}
+
+double
+measureHaloBlocking(Machine &m, const CuckooHashTable &table,
+                    std::uint64_t populated, std::uint64_t lookups,
+                    std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    KeyStager stager(m);
+    // Keys are staged before each chunk runs, so a chunk may not exceed
+    // the staging buffer or later keys would overwrite earlier ones
+    // before their queries execute.
+    constexpr std::uint64_t bChunk = 64;
+    Cycles now = 0;
+    Cycles begin = 0;
+    bool first = true;
+    for (std::uint64_t i = 0; i < lookups; i += bChunk) {
+        OpTrace ops;
+        for (std::uint64_t j = 0; j < bChunk && i + j < lookups;
+             ++j) {
+            const auto key = keyForId(rng.nextBounded(populated));
+            const Addr key_addr = stager.stage(key.data(), key.size());
+            m.builder.lowerCompute(2, 2, 1, ops);
+            m.builder.lowerLookupB(table.metadataAddr(), key_addr, ops);
+        }
+        const RunResult rr = m.core.run(ops, now);
+        if (first) {
+            begin = rr.startCycle;
+            first = false;
+        }
+        now = rr.endCycle;
+    }
+    return static_cast<double>(now - begin) /
+           static_cast<double>(lookups);
+}
+
+double
+measureHaloNonBlocking(Machine &m, const CuckooHashTable &table,
+                       std::uint64_t populated, std::uint64_t lookups,
+                       std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    KeyStager stager(m);
+    const Addr results =
+        m.mem.allocate(8 * cacheLineBytes, cacheLineBytes);
+    Cycles now = 0;
+    Cycles begin = 0;
+    bool first = true;
+
+    // Paper SS5.1: queries are sent in batches of eight, then one
+    // SNAPSHOT_READ per batch checks the packed result line.
+    for (std::uint64_t i = 0; i < lookups; i += 8) {
+        m.mem.zero(results, cacheLineBytes);
+        m.hier.warmLine(results);
+        OpTrace ops;
+        const std::uint64_t batch = std::min<std::uint64_t>(
+            8, lookups - i);
+        for (std::uint64_t j = 0; j < batch; ++j) {
+            const auto key = keyForId(rng.nextBounded(populated));
+            const Addr key_addr = stager.stage(key.data(), key.size());
+            m.builder.lowerCompute(2, 2, 1, ops);
+            m.builder.lowerLookupNB(table.metadataAddr(), key_addr,
+                                    results + j * 8, ops);
+        }
+        const RunResult rr = m.core.run(ops, now);
+        if (first) {
+            begin = rr.startCycle;
+            first = false;
+        }
+        now = rr.endCycle;
+        // Poll the result line until every slot is written.
+        while (now < rr.lastNbReady) {
+            OpTrace check;
+            m.builder.lowerSnapshotCheck(results, check);
+            now = m.core.run(check, now).endCycle;
+        }
+    }
+    return static_cast<double>(now - begin) /
+           static_cast<double>(lookups);
+}
+
+} // namespace halo::bench

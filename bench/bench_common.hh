@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper and
+ * prints it as an aligned text table plus TSV rows (grep for '\t' to
+ * post-process). Simulated machines are constructed fresh per
+ * configuration so results are order-independent.
+ */
+
+#ifndef HALO_BENCH_BENCH_COMMON_HH
+#define HALO_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/halo_system.hh"
+#include "cpu/core_model.hh"
+#include "cpu/trace_builder.hh"
+#include "hash/cuckoo_table.hh"
+#include "sim/random.hh"
+
+namespace halo::bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const char *experiment, const char *caption)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s — %s\n", experiment, caption);
+    std::printf("==============================================="
+                "=================\n");
+}
+
+/** One simulated machine: memory, hierarchy, HALO complex, one core. */
+struct Machine
+{
+    SimMemory mem;
+    MemoryHierarchy hier;
+    HaloSystem halo;
+    CoreModel core;
+    TraceBuilder builder;
+
+    explicit Machine(std::uint64_t mem_bytes = 2ull << 30,
+                     const HaloConfig &halo_cfg = HaloConfig{},
+                     const HierarchyConfig &hier_cfg = HierarchyConfig{})
+        : mem(mem_bytes),
+          hier(hier_cfg),
+          halo(mem, hier, halo_cfg),
+          core(hier, 0)
+    {
+        core.setLookupEngine(&halo);
+    }
+};
+
+/** Round-robin key staging area (streaming-store semantics). */
+class KeyStager
+{
+  public:
+    KeyStager(Machine &machine, unsigned slots = 64)
+        : m(machine), numSlots(slots)
+    {
+        base = m.mem.allocate(slots * cacheLineBytes, cacheLineBytes);
+    }
+
+    Addr
+    stage(const void *key, std::size_t len)
+    {
+        const Addr a = base + (next++ % numSlots) * cacheLineBytes;
+        m.mem.write(a, key, len);
+        m.hier.warmLine(a);
+        return a;
+    }
+
+  private:
+    Machine &m;
+    unsigned numSlots;
+    Addr base = 0;
+    unsigned next = 0;
+};
+
+/** Deterministic 16-byte keys identified by an integer. */
+inline std::array<std::uint8_t, 16>
+keyForId(std::uint64_t id)
+{
+    std::array<std::uint8_t, 16> key{};
+    std::memcpy(key.data(), &id, sizeof(id));
+    const std::uint64_t mixed = id * 0x9e3779b97f4a7c15ull;
+    std::memcpy(key.data() + 8, &mixed, sizeof(mixed));
+    return key;
+}
+
+/** Cycles-per-lookup of pure-software lookups over @p table. */
+double
+measureSoftwareLookups(Machine &m, const CuckooHashTable &table,
+                       std::uint64_t populated, std::uint64_t lookups,
+                       std::uint64_t seed);
+
+/** Cycles-per-lookup of LOOKUP_B lookups over @p table. */
+double
+measureHaloBlocking(Machine &m, const CuckooHashTable &table,
+                    std::uint64_t populated, std::uint64_t lookups,
+                    std::uint64_t seed);
+
+/** Cycles-per-lookup of batched LOOKUP_NB + SNAPSHOT_READ lookups. */
+double
+measureHaloNonBlocking(Machine &m, const CuckooHashTable &table,
+                       std::uint64_t populated, std::uint64_t lookups,
+                       std::uint64_t seed);
+
+/** 10K-lookup warmup, as in paper SS5.2. */
+void
+warmupLookups(Machine &m, const CuckooHashTable &table,
+              std::uint64_t populated, std::uint64_t count = 10000);
+
+} // namespace halo::bench
+
+#endif // HALO_BENCH_BENCH_COMMON_HH

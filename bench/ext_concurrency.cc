@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Extension — multi-core concurrency (paper SS3.4).
+ *
+ * The paper measures two software concurrency costs: the optimistic
+ * version-lock protocol (13.1% of execution time) and core-to-core
+ * transfers of shared lines (>100 cycles for a modified line). This
+ * bench runs N reader cores plus one writer core against a shared flow
+ * table:
+ *
+ *   software — every reader samples and re-validates the table's
+ *   version counter, whose line the writer keeps dirtying (it bounces
+ *   between private caches), and a reader that raced a displacement
+ *   retries its lookup;
+ *
+ *   HALO — readers issue LOOKUP_B; the accelerator's hardware lock
+ *   provides atomicity, no version line exists, and nothing bounces.
+ */
+
+#include "bench_common.hh"
+
+using namespace halo;
+using namespace halo::bench;
+
+namespace {
+
+struct Row
+{
+    double swCyclesPerLookup;
+    double haloCyclesPerLookup;
+    double haloKeyHashCyclesPerLookup;
+    std::uint64_t retries;
+};
+
+enum class Mode
+{
+    Software,
+    HaloTableHash,
+    HaloKeyHash,
+};
+
+Row
+run(unsigned readers)
+{
+    Row row{};
+    constexpr std::uint64_t population = 60000;
+    constexpr unsigned rounds = 40;
+    constexpr unsigned lookupsPerRound = 16; // per reader
+
+    for (const Mode mode : {Mode::Software, Mode::HaloTableHash,
+                            Mode::HaloKeyHash}) {
+        const bool use_halo = mode != Mode::Software;
+        HaloConfig hcfg;
+        if (mode == Mode::HaloKeyHash)
+            hcfg.dispatchPolicy = DispatchPolicy::KeyHash;
+        Machine m(2ull << 30, hcfg);
+        CuckooHashTable table(
+            m.mem, {16, 65536, HashKind::XxMix, 0xcc, 0.95});
+        for (std::uint64_t i = 0; i < population; ++i) {
+            const auto key = keyForId(i);
+            table.insert(KeyView(key.data(), key.size()), i + 1);
+        }
+        table.forEachLine([&](Addr a) { m.hier.warmLine(a); });
+
+        std::vector<std::unique_ptr<CoreModel>> cores;
+        for (unsigned c = 0; c < readers; ++c) {
+            cores.push_back(
+                std::make_unique<CoreModel>(m.hier, c + 1));
+            cores.back()->setLookupEngine(&m.halo);
+        }
+        CoreModel writer(m.hier, 0);
+        KeyStager stager(m, 256);
+
+        Xoshiro256 rng(readers * 7 + static_cast<unsigned>(mode));
+        Cycles writer_now = 0;
+        std::vector<Cycles> reader_now(readers, 0);
+        std::uint64_t lookups = 0, retries = 0;
+
+        for (unsigned round = 0; round < rounds; ++round) {
+            // Writer updates a handful of entries (touching the
+            // version line and bucket lines from core 0).
+            OpTrace wops;
+            const std::uint64_t v_before =
+                m.mem.load<std::uint64_t>(table.versionAddr());
+            for (int w = 0; w < 4; ++w) {
+                const auto key =
+                    keyForId(rng.nextBounded(population));
+                AccessTrace refs;
+                table.insert(KeyView(key.data(), key.size()),
+                             rng.next() | 1, &refs);
+                writer.coreId();
+                m.builder.lowerTableOp(refs, wops);
+            }
+            writer_now = writer.run(wops, writer_now).endCycle;
+            const bool version_moved =
+                m.mem.load<std::uint64_t>(table.versionAddr()) !=
+                v_before;
+
+            // Readers look up concurrently.
+            for (unsigned c = 0; c < readers; ++c) {
+                OpTrace ops;
+                for (unsigned l = 0; l < lookupsPerRound; ++l) {
+                    const auto key =
+                        keyForId(rng.nextBounded(population));
+                    if (use_halo) {
+                        const Addr key_addr =
+                            stager.stage(key.data(), key.size());
+                        m.builder.lowerCompute(2, 2, 1, ops);
+                        m.builder.lowerLookupB(table.metadataAddr(),
+                                               key_addr, ops);
+                    } else {
+                        AccessTrace refs;
+                        table.lookup(KeyView(key.data(), key.size()),
+                                     &refs);
+                        m.builder.lowerTableOp(refs, ops);
+                        // Optimistic locking: a lookup overlapping the
+                        // writer's version bump must retry (paper
+                        // SS3.4). Model: the first lookup of the round
+                        // after a write re-executes.
+                        if (version_moved && l == 0) {
+                            m.builder.lowerTableOp(refs, ops);
+                            ++retries;
+                        }
+                    }
+                    ++lookups;
+                }
+                reader_now[c] =
+                    cores[c]->run(ops, reader_now[c]).endCycle;
+            }
+        }
+
+        // Aggregate reader time = max over cores (they run in
+        // parallel); per-lookup = total reader work / lookups.
+        Cycles total = 0;
+        for (unsigned c = 0; c < readers; ++c)
+            total = std::max(total, reader_now[c]);
+        const double per_lookup =
+            static_cast<double>(total) /
+            static_cast<double>(rounds * lookupsPerRound);
+        switch (mode) {
+          case Mode::Software:
+            row.swCyclesPerLookup = per_lookup;
+            row.retries = retries;
+            break;
+          case Mode::HaloTableHash:
+            row.haloCyclesPerLookup = per_lookup;
+            break;
+          case Mode::HaloKeyHash:
+            row.haloKeyHashCyclesPerLookup = per_lookup;
+            break;
+        }
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: multi-core concurrency",
+           "shared-table readers + one writer (paper SS3.4 effects)");
+    std::printf("%8s | %10s %14s %13s %9s\n", "readers", "sw",
+                "halo(tblhash)", "halo(keyhash)", "retries");
+    std::printf("TSV: readers\tsw\thalo_tablehash\thalo_keyhash\t"
+                "retries\n");
+    for (const unsigned readers : {1u, 2u, 4u, 8u, 15u}) {
+        const Row r = run(readers);
+        std::printf("%8u | %10.1f %14.1f %13.1f %9llu\n", readers,
+                    r.swCyclesPerLookup, r.haloCyclesPerLookup,
+                    r.haloKeyHashCyclesPerLookup,
+                    static_cast<unsigned long long>(r.retries));
+        std::printf("%u\t%.1f\t%.1f\t%.1f\t%llu\n", readers,
+                    r.swCyclesPerLookup, r.haloCyclesPerLookup,
+                    r.haloKeyHashCyclesPerLookup,
+                    static_cast<unsigned long long>(r.retries));
+    }
+    std::printf("\nfindings: (a) software readers pay the optimistic "
+                "lock (version-line transfers + retries) but scale "
+                "across cores; (b) the paper's table-hash dispatch "
+                "funnels one hot table onto ONE accelerator, which "
+                "saturates as readers grow — a real limit of the "
+                "design; (c) key-hash dispatch spreads the same table "
+                "across all 16 accelerators, restoring scaling while "
+                "keeping hardware-lock atomicity (no retries).\n");
+    return 0;
+}

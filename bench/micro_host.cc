@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Host-level microbenchmarks (google-benchmark) for the functional
+ * substrate: these measure the *simulator's* own speed, not simulated
+ * cycles — useful for keeping the repository's regeneration scripts
+ * fast and for spotting algorithmic regressions in the hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "flow/emc.hh"
+#include "net/traffic_gen.hh"
+
+using namespace halo;
+using namespace halo::bench;
+
+namespace {
+
+void
+BM_CuckooLookupHit(benchmark::State &state)
+{
+    SimMemory mem(256ull << 20);
+    CuckooHashTable table(mem, {16, 65536, HashKind::XxMix, 1, 0.95});
+    for (std::uint64_t i = 0; i < 60000; ++i) {
+        const auto key = keyForId(i);
+        table.insert(KeyView(key.data(), key.size()), i);
+    }
+    Xoshiro256 rng(2);
+    for (auto _ : state) {
+        const auto key = keyForId(rng.nextBounded(60000));
+        benchmark::DoNotOptimize(
+            table.lookup(KeyView(key.data(), key.size())));
+    }
+}
+BENCHMARK(BM_CuckooLookupHit);
+
+void
+BM_CuckooInsert(benchmark::State &state)
+{
+    auto mem = std::make_unique<SimMemory>(1ull << 30);
+    auto table = std::make_unique<CuckooHashTable>(
+        *mem, CuckooHashTable::Config{16, 1u << 20, HashKind::XxMix, 3,
+                                      0.95});
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const auto key = keyForId(i++);
+        benchmark::DoNotOptimize(
+            table->insert(KeyView(key.data(), key.size()), i));
+        if (i >= (1u << 20) * 9 / 10) {
+            state.PauseTiming();
+            i = 0;
+            table.reset();
+            mem = std::make_unique<SimMemory>(1ull << 30);
+            table = std::make_unique<CuckooHashTable>(
+                *mem, CuckooHashTable::Config{16, 1u << 20,
+                                              HashKind::XxMix, 3, 0.95});
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_CuckooInsert);
+
+void
+BM_HashXxMix(benchmark::State &state)
+{
+    const auto key = keyForId(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hashBytes(
+            HashKind::XxMix, 7,
+            std::span<const std::uint8_t>(key.data(), key.size())));
+}
+BENCHMARK(BM_HashXxMix);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    const auto key = keyForId(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32c(
+            std::span<const std::uint8_t>(key.data(), key.size()), 0));
+}
+BENCHMARK(BM_Crc32c);
+
+void
+BM_EmcLookup(benchmark::State &state)
+{
+    SimMemory mem(64ull << 20);
+    ExactMatchCache emc(mem, 8192);
+    TrafficGenerator gen(TrafficConfig{4096, 0.0, 0.5, 5});
+    for (const FiveTuple &t : gen.flows())
+        emc.insert(t.toKey(), 1);
+    Xoshiro256 rng(6);
+    for (auto _ : state) {
+        const auto key =
+            gen.flows()[rng.nextBounded(gen.flows().size())].toKey();
+        benchmark::DoNotOptimize(emc.lookup(key));
+    }
+}
+BENCHMARK(BM_EmcLookup);
+
+void
+BM_PacketParse(benchmark::State &state)
+{
+    FiveTuple t;
+    t.srcIp = 0x0a000001;
+    t.dstIp = 0x0a000002;
+    t.srcPort = 10;
+    t.dstPort = 20;
+    const Packet pkt = Packet::fromTuple(t);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pkt.parseHeaders());
+}
+BENCHMARK(BM_PacketParse);
+
+void
+BM_SimulatedSoftwareLookup(benchmark::State &state)
+{
+    // End-to-end simulator throughput: functional lookup + lowering +
+    // core-model pricing.
+    Machine m(512ull << 20);
+    CuckooHashTable table(m.mem, {16, 8192, HashKind::XxMix, 9, 0.95});
+    for (std::uint64_t i = 0; i < 7000; ++i) {
+        const auto key = keyForId(i);
+        table.insert(KeyView(key.data(), key.size()), i);
+    }
+    Xoshiro256 rng(10);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const auto key = keyForId(rng.nextBounded(7000));
+        AccessTrace refs;
+        table.lookup(KeyView(key.data(), key.size()), &refs);
+        OpTrace ops;
+        m.builder.lowerTableOp(refs, ops);
+        now = m.core.run(ops, now).endCycle;
+    }
+}
+BENCHMARK(BM_SimulatedSoftwareLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table 1 — instruction count and mix of a single software cuckoo
+ * lookup, and the contrast with the HALO lookup instructions.
+ *
+ * Paper: ~210 instructions per lookup; 48.1% memory (36.2% load +
+ * 11.8% store), 21.0% arithmetic, 30.9% others.
+ */
+
+#include "bench_common.hh"
+
+using namespace halo;
+using namespace halo::bench;
+
+int
+main()
+{
+    banner("Table 1", "instructions per hash-table lookup");
+
+    Machine m(1ull << 30);
+    CuckooHashTable table(m.mem,
+                          {16, 65536, HashKind::XxMix, 0x111, 0.95});
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        const auto key = keyForId(i);
+        table.insert(KeyView(key.data(), key.size()), i + 1);
+    }
+
+    // Average the lowered mix over a few thousand hit lookups.
+    Xoshiro256 rng(0x717);
+    OpMix mix;
+    std::uint64_t lookups = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const auto key = keyForId(rng.nextBounded(50000));
+        AccessTrace refs;
+        table.lookup(KeyView(key.data(), key.size()), &refs);
+        OpTrace ops;
+        m.builder.lowerTableOp(refs, ops);
+        for (const MicroOp &op : ops)
+            mix.add(op.kind);
+        ++lookups;
+    }
+
+    const double total = static_cast<double>(mix.total());
+    const double per_lookup = total / static_cast<double>(lookups);
+    const double mem_pct =
+        100.0 * static_cast<double>(mix.loads + mix.stores) / total;
+    const double load_pct = 100.0 * static_cast<double>(mix.loads) /
+                            total;
+    const double store_pct = 100.0 * static_cast<double>(mix.stores) /
+                             total;
+    const double arith_pct = 100.0 * static_cast<double>(mix.arith) /
+                             total;
+    const double other_pct = 100.0 * static_cast<double>(mix.others) /
+                             total;
+
+    std::printf("%-18s %12s %10s %10s %10s\n", "solution",
+                "#instr/lookup", "memory", "arithmetic", "others");
+    std::printf("%-18s %12.1f %9.1f%% %9.1f%% %9.1f%%\n",
+                "OVS/Cuckoo hash", per_lookup, mem_pct, arith_pct,
+                other_pct);
+    std::printf("  (loads %.1f%% / stores %.1f%%)\n", load_pct,
+                store_pct);
+
+    // The ISA-extension contrast (paper SS4.5).
+    OpTrace b, nb, snap;
+    m.builder.lowerLookupB(table.metadataAddr(), 0x1000, b);
+    m.builder.lowerLookupNB(table.metadataAddr(), 0x1000, 0x2000, nb);
+    m.builder.lowerSnapshotCheck(0x2000, snap);
+    std::printf("%-18s %12zu\n", "HALO LOOKUP_B", b.size());
+    std::printf("%-18s %12zu\n", "HALO LOOKUP_NB", nb.size());
+    std::printf("%-18s %12zu  (amortized over 8 queries)\n",
+                "SNAPSHOT_READ check", snap.size());
+
+    std::printf("\nTSV: solution\tinstr\tmem_pct\tload_pct\tstore_pct\t"
+                "arith_pct\tother_pct\n");
+    std::printf("cuckoo\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+                per_lookup, mem_pct, load_pct, store_pct, arith_pct,
+                other_pct);
+    std::printf("\npaper: 210 instr; 48.1%% memory (36.2%% load, "
+                "11.8%% store), 21.0%% arith, 30.9%% others\n");
+    return 0;
+}

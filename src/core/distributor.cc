@@ -1,0 +1,49 @@
+#include "core/distributor.hh"
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+/** Line-address mix, same spirit as the LLC slice hash. */
+std::uint64_t
+mixAddr(std::uint64_t v)
+{
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ull;
+    v ^= v >> 33;
+    return v;
+}
+
+} // namespace
+
+QueryDistributor::QueryDistributor(unsigned num_slices,
+                                   DispatchPolicy policy)
+    : slices(num_slices),
+      policy_(policy),
+      statGroup("halo.distributor"),
+      routed(statGroup.counter("routed"))
+{
+    HALO_ASSERT(slices > 0);
+}
+
+SliceId
+QueryDistributor::route(Addr table_addr, Addr key_addr)
+{
+    ++routed;
+    switch (policy_) {
+      case DispatchPolicy::TableHash:
+        return static_cast<SliceId>(mixAddr(table_addr / cacheLineBytes) %
+                                    slices);
+      case DispatchPolicy::KeyHash:
+        return static_cast<SliceId>(mixAddr(key_addr) % slices);
+      case DispatchPolicy::RoundRobin:
+        return static_cast<SliceId>(rrNext++ % slices);
+    }
+    panic("unknown dispatch policy");
+}
+
+} // namespace halo

@@ -1,0 +1,61 @@
+#include "core/flow_register.hh"
+
+#include <cmath>
+
+namespace halo {
+
+FlowRegister::FlowRegister(unsigned bits_)
+{
+    HALO_ASSERT(bits_ >= 1, "flow register needs at least one bit");
+    bits.assign(bits_, false);
+}
+
+void
+FlowRegister::observe(std::uint64_t hash)
+{
+    bits[hash % bits.size()] = true;
+}
+
+unsigned
+FlowRegister::unsetBits() const
+{
+    unsigned unset = 0;
+    for (bool b : bits)
+        unset += b ? 0 : 1;
+    return unset;
+}
+
+double
+FlowRegister::estimate() const
+{
+    const auto m = static_cast<double>(bits.size());
+    const unsigned u = unsetBits();
+    if (u == 0)
+        return saturationBound();
+    return m * std::log(m / static_cast<double>(u));
+}
+
+double
+FlowRegister::saturationBound() const
+{
+    // The estimate with a single unset bit: beyond this the register
+    // cannot distinguish flow counts.
+    const auto m = static_cast<double>(bits.size());
+    return m * std::log(m);
+}
+
+double
+FlowRegister::scanAndReset()
+{
+    const double n = estimate();
+    reset();
+    return n;
+}
+
+void
+FlowRegister::reset()
+{
+    bits.assign(bits.size(), false);
+}
+
+} // namespace halo

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Linear-counting flow register (paper SS4.6, Fig. 8).
+ *
+ * A small bit array records one bit per observed query (indexed by the
+ * query's primary hash modulo the array size). Scanning the array at the
+ * end of a time window yields the linear-counting cardinality estimate
+ *
+ *      n_hat = m * ln(m / u)
+ *
+ * where m is the array size and u the number of unset bits. The estimate
+ * drives the hybrid software/accelerator mode switch.
+ */
+
+#ifndef HALO_CORE_FLOW_REGISTER_HH
+#define HALO_CORE_FLOW_REGISTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+/** Hardware flow register: per-CHA in real hardware, one shared instance
+ *  in the model (the paper's estimate is socket-wide). */
+class FlowRegister
+{
+  public:
+    /** @param bits Size of the bit array (32 in the paper's design). */
+    explicit FlowRegister(unsigned bits = 32);
+
+    /** Record a query whose primary hash is @p hash. */
+    void observe(std::uint64_t hash);
+
+    /** Number of unset bits right now. */
+    unsigned unsetBits() const;
+
+    /**
+     * Linear-counting estimate of distinct flows observed this window.
+     * A fully-saturated register reports its saturation bound (the
+     * estimate diverges as u -> 0).
+     */
+    double estimate() const;
+
+    /** Estimate, then clear for the next window (the periodic scan). */
+    double scanAndReset();
+
+    /** Clear all bits. */
+    void reset();
+
+    unsigned size() const { return static_cast<unsigned>(bits.size()); }
+
+    /** Largest estimate the register can report before saturating. */
+    double saturationBound() const;
+
+  private:
+    std::vector<bool> bits;
+};
+
+} // namespace halo
+
+#endif // HALO_CORE_FLOW_REGISTER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Configuration of the HALO accelerator complex (paper SS4.7).
+ */
+
+#ifndef HALO_CORE_HALO_CONFIG_HH
+#define HALO_CORE_HALO_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace halo {
+
+/** Dispatch policy of the query distributor (the paper uses TableHash;
+ *  the alternatives exist for the ablation benches). */
+enum class DispatchPolicy
+{
+    TableHash, ///< hash the table address (paper SS4.3)
+    KeyHash,   ///< hash the key address
+    RoundRobin,
+};
+
+/** Per-accelerator and complex-wide parameters. */
+struct HaloConfig
+{
+    /// In-flight queries buffered per accelerator scoreboard.
+    unsigned scoreboardEntries = 10;
+    /// Tables cached per accelerator metadata cache (640 B total).
+    unsigned metadataCacheEntries = 10;
+    /// Metadata-cache hit cost.
+    Cycles metadataHitCycles = 1;
+    /// Fully-pipelined hash unit latency.
+    Cycles hashCycles = 4;
+    /// All 8 signature comparators fire in parallel.
+    Cycles sigCompareCycles = 1;
+    /// Wide key comparator, per 32 bytes.
+    Cycles keyCompareCyclesPer32B = 1;
+    /// Fixed per-query engine overhead (scoreboard bookkeeping, command
+    /// decode, result-queue entry).
+    Cycles queryOverheadCycles = 12;
+    /// Setting / clearing the line lock bit.
+    Cycles lockCycles = 1;
+    /// Retry wait when a needed line is locked by another query.
+    Cycles lockContentionCycles = 24;
+    /// One-way command/response latency between a core and the
+    /// distributor, before per-hop costs.
+    Cycles dispatchBaseCycles = 13;
+    /// Whether accelerators set hardware lock bits during queries.
+    bool useHardwareLock = true;
+    DispatchPolicy dispatchPolicy = DispatchPolicy::TableHash;
+};
+
+} // namespace halo
+
+#endif // HALO_CORE_HALO_CONFIG_HH

@@ -1,0 +1,112 @@
+#include "core/halo_system.hh"
+
+namespace halo {
+
+HaloSystem::HaloSystem(SimMemory &memory, MemoryHierarchy &hierarchy,
+                       const HaloConfig &config)
+    : mem(memory),
+      hier(hierarchy),
+      cfg(config),
+      dist(hierarchy.config().llcSlices, config.dispatchPolicy),
+      statGroup("halo.system"),
+      blockingQueries(statGroup.counter("blocking_queries")),
+      nonBlockingQueries(statGroup.counter("nonblocking_queries"))
+{
+    for (unsigned s = 0; s < hierarchy.config().llcSlices; ++s)
+        accels.push_back(std::make_unique<HaloAccelerator>(
+            memory, hierarchy, s, config));
+    // Snoop-filter CV bit (paper SS4.3): core writes invalidate any
+    // accelerator-cached copy of the written metadata line. The
+    // knownTables pre-filter keeps ordinary stores O(1).
+    hier.setWriteObserver([this](Addr line) {
+        if (knownTables.count(line))
+            invalidateMetadata(line);
+    });
+}
+
+Cycles
+HaloSystem::transferLatency(CoreId core, SliceId slice) const
+{
+    return cfg.dispatchBaseCycles +
+           hier.config().hopCycles * hier.coreSliceHops(core, slice);
+}
+
+QueryResult
+HaloSystem::rawQuery(CoreId core, Addr table_addr, Addr key_addr,
+                     Cycles issue)
+{
+    knownTables.insert(table_addr);
+    const SliceId target = dist.route(table_addr, key_addr);
+    const Cycles arrival = issue + transferLatency(core, target);
+    QueryResult result =
+        accels[target]->execute(table_addr, key_addr, arrival);
+    hybridCtl.observe(result.primaryHash);
+    return result;
+}
+
+Cycles
+HaloSystem::lookupBlocking(CoreId core, Addr table_addr, Addr key_addr,
+                           Cycles issue)
+{
+    ++blockingQueries;
+    knownTables.insert(table_addr);
+    const SliceId target = dist.route(table_addr, key_addr);
+    QueryResult result = accels[target]->execute(
+        table_addr, key_addr, issue + transferLatency(core, target));
+    hybridCtl.observe(result.primaryHash);
+    // Result rides the response network back to the register file.
+    return result.finished + transferLatency(core, target);
+}
+
+NbTicket
+HaloSystem::lookupNonBlocking(CoreId core, Addr table_addr, Addr key_addr,
+                              Addr result_addr, Cycles issue)
+{
+    ++nonBlockingQueries;
+    knownTables.insert(table_addr);
+    const SliceId target = dist.route(table_addr, key_addr);
+    const Cycles send = transferLatency(core, target);
+    QueryResult result = accels[target]->execute(table_addr, key_addr,
+                                                 issue + send);
+    hybridCtl.observe(result.primaryHash);
+
+    // The accelerator writes the result word to memory; the line stays
+    // in LLC so SNAPSHOT_READ can poll it without ownership changes.
+    mem.store<std::uint64_t>(result_addr,
+                             result.found ? result.value : nbMissWord);
+    const AccessResult wr =
+        hier.chaAccess(target, result_addr, /*is_write=*/true);
+
+    NbTicket ticket;
+    // The busy-bit stalls the core until the scoreboard accepted the
+    // query; subtract the send latency to express it in core time.
+    ticket.accepted = result.accepted >= send ? result.accepted - send
+                                              : issue;
+    ticket.resultReady = result.finished + wr.latency;
+    return ticket;
+}
+
+void
+HaloSystem::invalidateMetadata(Addr table_addr)
+{
+    for (auto &acc : accels)
+        acc->invalidateMetadata(table_addr);
+}
+
+void
+HaloSystem::drainAll()
+{
+    for (auto &acc : accels)
+        acc->drain();
+}
+
+std::uint64_t
+HaloSystem::totalQueries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &acc : accels)
+        n += acc->stats().counterValue("queries");
+    return n;
+}
+
+} // namespace halo

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The HALO accelerator complex: one accelerator per LLC slice, the query
+ * distributor, the flow register / hybrid controller, and the ISA-level
+ * entry points (LOOKUP_B / LOOKUP_NB / SNAPSHOT_READ semantics).
+ *
+ * HaloSystem implements cpu::LookupEngine, so a CoreModel executing a
+ * trace with LOOKUP_* micro-ops drives the accelerators transparently.
+ * Benches can also call rawQuery() to obtain per-phase breakdowns
+ * (Fig. 10) without a core in the loop.
+ */
+
+#ifndef HALO_CORE_HALO_SYSTEM_HH
+#define HALO_CORE_HALO_SYSTEM_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/accelerator.hh"
+#include "core/distributor.hh"
+#include "core/hybrid.hh"
+#include "cpu/core_model.hh"
+#include "mem/hierarchy.hh"
+#include "mem/sim_memory.hh"
+
+namespace halo {
+
+/**
+ * Socket-wide HALO instance.
+ */
+class HaloSystem : public LookupEngine
+{
+  public:
+    HaloSystem(SimMemory &memory, MemoryHierarchy &hierarchy,
+               const HaloConfig &config = HaloConfig{});
+
+    /** @name LookupEngine (used by CoreModel) */
+    /**@{*/
+    Cycles lookupBlocking(CoreId core, Addr table_addr, Addr key_addr,
+                          Cycles issue) override;
+    NbTicket lookupNonBlocking(CoreId core, Addr table_addr,
+                               Addr key_addr, Addr result_addr,
+                               Cycles issue) override;
+    /**@}*/
+
+    /**
+     * Issue a query directly at the CHA level (no core round trip);
+     * returns the full result with per-phase breakdown.
+     */
+    QueryResult rawQuery(CoreId core, Addr table_addr, Addr key_addr,
+                         Cycles issue);
+
+    /** One-way core <-> accelerator message latency. */
+    Cycles transferLatency(CoreId core, SliceId slice) const;
+
+    /** Broadcast a metadata invalidation (table resized/destroyed). */
+    void invalidateMetadata(Addr table_addr);
+
+    /** Reset accelerator pipeline state between experiment phases. */
+    void drainAll();
+
+    HaloAccelerator &accelerator(SliceId slice)
+    {
+        return *accels.at(slice);
+    }
+    unsigned numAccelerators() const
+    {
+        return static_cast<unsigned>(accels.size());
+    }
+
+    QueryDistributor &distributor() { return dist; }
+    HybridController &hybrid() { return hybridCtl; }
+    const HaloConfig &config() const { return cfg; }
+
+    /** Total queries executed across all accelerators. */
+    std::uint64_t totalQueries() const;
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    SimMemory &mem;
+    MemoryHierarchy &hier;
+    HaloConfig cfg;
+    std::vector<std::unique_ptr<HaloAccelerator>> accels;
+    QueryDistributor dist;
+    HybridController hybridCtl;
+    /// Every metadata address ever queried; pre-filters the per-write
+    /// snoop so ordinary stores cost O(1).
+    std::unordered_set<Addr> knownTables;
+
+    StatGroup statGroup;
+    Counter &blockingQueries;
+    Counter &nonBlockingQueries;
+};
+
+} // namespace halo
+
+#endif // HALO_CORE_HALO_SYSTEM_HH

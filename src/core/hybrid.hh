@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hybrid computation controller (paper SS4.6).
+ *
+ * Tracks the active-flow estimate from a FlowRegister over fixed query
+ * windows and decides whether lookups should run in software (small,
+ * L1-resident working sets) or on the HALO accelerators. The paper's
+ * threshold is 64 active flows, at which point a 32-bit register is
+ * still well inside its accurate range (Fig. 8b: a register estimates
+ * ~2x its bit count reliably).
+ */
+
+#ifndef HALO_CORE_HYBRID_HH
+#define HALO_CORE_HYBRID_HH
+
+#include <cstdint>
+
+#include "core/flow_register.hh"
+
+namespace halo {
+
+/** Which engine executes lookups right now. */
+enum class ComputeMode
+{
+    Software,
+    Halo,
+};
+
+/** Window-based software/accelerator mode switch. */
+class HybridController
+{
+  public:
+    struct Config
+    {
+        unsigned registerBits = 32;
+        /// Switch to software at or below this many active flows.
+        double flowThreshold = 64.0;
+        /// Queries per scan window.
+        std::uint64_t windowQueries = 1024;
+        /// Initial mode (HALO: the safe default for unknown traffic).
+        ComputeMode initialMode = ComputeMode::Halo;
+    };
+
+    HybridController() : HybridController(Config{}) {}
+
+    explicit HybridController(const Config &config)
+        : cfg(config), reg(config.registerBits), mode_(config.initialMode)
+    {
+    }
+
+    /** Record one lookup's primary hash; may close a window. */
+    void
+    observe(std::uint64_t hash)
+    {
+        reg.observe(hash);
+        if (++inWindow >= cfg.windowQueries) {
+            lastEstimate = reg.scanAndReset();
+            mode_ = lastEstimate <= cfg.flowThreshold
+                        ? ComputeMode::Software
+                        : ComputeMode::Halo;
+            inWindow = 0;
+            ++windows;
+        }
+    }
+
+    ComputeMode mode() const { return mode_; }
+    double estimate() const { return lastEstimate; }
+    std::uint64_t windowsClosed() const { return windows; }
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    FlowRegister reg;
+    ComputeMode mode_;
+    std::uint64_t inWindow = 0;
+    std::uint64_t windows = 0;
+    double lastEstimate = 0.0;
+};
+
+} // namespace halo
+
+#endif // HALO_CORE_HYBRID_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Micro-op vocabulary for the trace-driven core model.
+ *
+ * The simulator executes *functional* operations first (hash-table
+ * lookups, header parsing, ...) which record their memory references;
+ * the TraceBuilder then lowers each operation into a micro-op stream
+ * whose instruction mix matches the paper's measured software profile
+ * (Table 1), and the CoreModel prices that stream on the Table-2 OoO
+ * core.
+ */
+
+#ifndef HALO_CPU_MICRO_OP_HH
+#define HALO_CPU_MICRO_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/access.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+/** Kinds of micro-ops the core model prices. */
+enum class OpKind : std::uint8_t
+{
+    Alu,          ///< 1-cycle integer/logic op
+    Load,         ///< memory read through the cache hierarchy
+    Store,        ///< memory write (retires from the store buffer)
+    Branch,       ///< control flow (1 cycle; no misprediction model)
+    Other,        ///< moves, flag ops, address generation, ...
+    LookupB,      ///< HALO LOOKUP_B  — blocking accelerator query
+    LookupNB,     ///< HALO LOOKUP_NB — non-blocking accelerator query
+    SnapshotRead, ///< HALO SNAPSHOT_READ — ownership-preserving read
+};
+
+/** One micro-op. */
+struct MicroOp
+{
+    OpKind kind = OpKind::Alu;
+    /// Memory address for Load/Store/SnapshotRead; key address for
+    /// lookups. invalidAddr means a core-private scratch (stack) access.
+    Addr addr = invalidAddr;
+    /// Table metadata address for LookupB/LookupNB.
+    Addr tableAddr = invalidAddr;
+    /// Result destination address for LookupNB.
+    Addr resultAddr = invalidAddr;
+    std::uint16_t size = 8;
+    /// Index (within the same trace) of the op producing this op's
+    /// input; -1 when the op only depends on program order resources.
+    std::int32_t dep = -1;
+    /// Attribution bucket for latency breakdowns.
+    AccessPhase phase = AccessPhase::Payload;
+    /**
+     * Data-dependent branch whose outcome the predictor cannot learn
+     * (e.g. "did this bucket hold the key?"). The front end refetches
+     * after such a branch resolves, serializing what follows.
+     */
+    bool unpredictable = false;
+};
+
+/** A lowered instruction stream. */
+using OpTrace = std::vector<MicroOp>;
+
+/** Instruction-mix accounting (Table 1 reproduction). */
+struct OpMix
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t arith = 0;
+    std::uint64_t others = 0;
+    std::uint64_t lookups = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return loads + stores + arith + others + lookups;
+    }
+
+    void
+    add(OpKind kind)
+    {
+        switch (kind) {
+          case OpKind::Load:
+          case OpKind::SnapshotRead:
+            ++loads;
+            break;
+          case OpKind::Store:
+            ++stores;
+            break;
+          case OpKind::Alu:
+            ++arith;
+            break;
+          case OpKind::Branch:
+          case OpKind::Other:
+            ++others;
+            break;
+          case OpKind::LookupB:
+          case OpKind::LookupNB:
+            ++lookups;
+            break;
+        }
+    }
+};
+
+/** Mix of an existing trace. */
+inline OpMix
+mixOf(const OpTrace &trace)
+{
+    OpMix mix;
+    for (const MicroOp &op : trace)
+        mix.add(op.kind);
+    return mix;
+}
+
+} // namespace halo
+
+#endif // HALO_CPU_MICRO_OP_HH

@@ -1,0 +1,251 @@
+#include "flow/decision_tree.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+constexpr std::uint64_t ruleRecordBytes = 48;
+
+/// Node field offsets.
+constexpr unsigned offKind = 0;
+constexpr unsigned offCutByte = 1;
+constexpr unsigned offThreshold = 2;
+constexpr unsigned offLeafCount = 3;
+constexpr unsigned offLeft = 4;
+constexpr unsigned offRight = 8;
+constexpr unsigned offRuleIds = 12;
+
+} // namespace
+
+DecisionTree::DecisionTree(SimMemory &memory, const RuleSet &rules)
+    : DecisionTree(memory, rules, Config{})
+{
+}
+
+DecisionTree::DecisionTree(SimMemory &memory, const RuleSet &rules,
+                           const Config &config)
+    : mem(memory), cfg(config)
+{
+    HALO_ASSERT(!rules.empty(), "decision tree needs rules");
+    HALO_ASSERT(cfg.leafRules >= 1 && cfg.leafRules <= treeLeafCapacity);
+    ruleCount = static_cast<std::uint32_t>(rules.size());
+
+    // Serialize the rule records.
+    ruleArray = mem.allocate(rules.size() * ruleRecordBytes,
+                             cacheLineBytes);
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+        const Addr rec = ruleArray + r * ruleRecordBytes;
+        mem.write(rec, rules[r].maskedKey.data(), 16);
+        mem.write(rec + 16, rules[r].mask.bytes.data(), 16);
+        mem.store<std::uint16_t>(rec + 32, rules[r].priority);
+        mem.store<std::uint16_t>(rec + 34, rules[r].action.port);
+        mem.store<std::uint8_t>(
+            rec + 36, static_cast<std::uint8_t>(rules[r].action.kind));
+    }
+
+    // Pessimistic node pool: replication is bounded by the depth cap.
+    nodeCapacity = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(4 * rules.size() + 64, 1u << 20));
+    nodeBase = mem.allocate(static_cast<std::uint64_t>(nodeCapacity) *
+                                cacheLineBytes,
+                            cacheLineBytes);
+
+    std::vector<std::uint32_t> all(rules.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    const std::uint32_t root = buildNode(all, rules, 0);
+    HALO_ASSERT(root == 0, "root must be node 0");
+
+    header = mem.allocate(cacheLineBytes, cacheLineBytes);
+    TreeHeader hdr;
+    hdr.rootAddr = nodeBase;
+    hdr.ruleArrayAddr = ruleArray;
+    hdr.numRules = ruleCount;
+    hdr.numNodes = nodeCount;
+    mem.store(header, hdr);
+}
+
+std::uint32_t
+DecisionTree::buildNode(const std::vector<std::uint32_t> &rule_ids,
+                        const RuleSet &rules, unsigned depth)
+{
+    HALO_ASSERT(nodeCount < nodeCapacity, "tree node pool exhausted");
+    const std::uint32_t idx = nodeCount++;
+    const Addr node = nodeAddr(idx);
+    mem.zero(node, cacheLineBytes);
+    builtDepth = std::max(builtDepth, depth);
+
+    // Leaf?
+    if (rule_ids.size() <= cfg.leafRules || depth >= cfg.maxDepth) {
+        mem.store<std::uint8_t>(node + offKind, 1);
+        const auto n = static_cast<std::uint8_t>(std::min<std::size_t>(
+            rule_ids.size(), treeLeafCapacity));
+        mem.store<std::uint8_t>(node + offLeafCount, n);
+        // Highest-priority rules first so the walk can stop early once
+        // a match is found (records are priority-sorted per leaf).
+        std::vector<std::uint32_t> sorted(rule_ids);
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return rules[a].priority > rules[b].priority;
+                  });
+        for (unsigned i = 0; i < n; ++i)
+            mem.store<std::uint32_t>(node + offRuleIds + 4 * i,
+                                     sorted[i]);
+        return idx;
+    }
+
+    // Pick the cut byte with the best balance among the 13 meaningful
+    // key bytes; threshold = 128 within the byte (single-bit cut keeps
+    // replication low for prefix masks).
+    unsigned best_byte = 0;
+    std::size_t best_cost = ~std::size_t{0};
+    std::uint8_t best_threshold = 128;
+    for (unsigned byte = 0; byte < 13; ++byte) {
+        for (const std::uint8_t threshold : {64, 128, 192}) {
+            std::size_t left = 0, right = 0;
+            for (const std::uint32_t r : rule_ids) {
+                const std::uint8_t mask_byte = rules[r].mask.bytes[byte];
+                const std::uint8_t key_byte =
+                    rules[r].maskedKey[byte];
+                // Wildcarded bits may straddle the cut: replicate.
+                const bool maybe_left =
+                    (key_byte & mask_byte) <
+                    threshold; // lowest possible value is masked key
+                const std::uint8_t max_byte =
+                    key_byte | static_cast<std::uint8_t>(~mask_byte);
+                const bool maybe_right = max_byte >= threshold;
+                left += maybe_left ? 1 : 0;
+                right += maybe_right ? 1 : 0;
+            }
+            const std::size_t cost = std::max(left, right);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_byte = byte;
+                best_threshold = threshold;
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> left_ids, right_ids;
+    for (const std::uint32_t r : rule_ids) {
+        const std::uint8_t mask_byte = rules[r].mask.bytes[best_byte];
+        const std::uint8_t key_byte = rules[r].maskedKey[best_byte];
+        if ((key_byte & mask_byte) < best_threshold)
+            left_ids.push_back(r);
+        const std::uint8_t max_byte =
+            key_byte | static_cast<std::uint8_t>(~mask_byte);
+        if (max_byte >= best_threshold)
+            right_ids.push_back(r);
+    }
+
+    // No progress (all rules replicate): make a (possibly oversized)
+    // leaf rather than recurse forever.
+    if (left_ids.size() == rule_ids.size() &&
+        right_ids.size() == rule_ids.size()) {
+        mem.store<std::uint8_t>(node + offKind, 1);
+        const auto n = static_cast<std::uint8_t>(std::min<std::size_t>(
+            rule_ids.size(), treeLeafCapacity));
+        mem.store<std::uint8_t>(node + offLeafCount, n);
+        std::vector<std::uint32_t> sorted(rule_ids);
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return rules[a].priority > rules[b].priority;
+                  });
+        for (unsigned i = 0; i < n; ++i)
+            mem.store<std::uint32_t>(node + offRuleIds + 4 * i,
+                                     sorted[i]);
+        return idx;
+    }
+
+    mem.store<std::uint8_t>(node + offKind, 0);
+    mem.store<std::uint8_t>(node + offCutByte,
+                            static_cast<std::uint8_t>(best_byte));
+    mem.store<std::uint8_t>(node + offThreshold, best_threshold);
+    const std::uint32_t left = buildNode(left_ids, rules, depth + 1);
+    mem.store<std::uint32_t>(node + offLeft, left + 1);
+    const std::uint32_t right = buildNode(right_ids, rules, depth + 1);
+    mem.store<std::uint32_t>(node + offRight, right + 1);
+    return idx;
+}
+
+std::optional<TreeMatch>
+DecisionTree::classify(std::span<const std::uint8_t> key,
+                       AccessTrace *trace) const
+{
+    HALO_ASSERT(key.size() == FiveTuple::keyBytes);
+    recordRef(trace, header, cacheLineBytes, false,
+              AccessPhase::Metadata);
+
+    std::uint32_t node = 0;
+    for (;;) {
+        const Addr naddr = nodeAddr(node);
+        recordRef(trace, naddr, cacheLineBytes, false,
+                  AccessPhase::Payload, /*depends=*/true);
+        if (mem.load<std::uint8_t>(naddr + offKind) == 1)
+            break;
+        const std::uint8_t cut =
+            mem.load<std::uint8_t>(naddr + offCutByte);
+        const std::uint8_t threshold =
+            mem.load<std::uint8_t>(naddr + offThreshold);
+        const std::uint32_t next =
+            key[cut] < threshold
+                ? mem.load<std::uint32_t>(naddr + offLeft)
+                : mem.load<std::uint32_t>(naddr + offRight);
+        HALO_ASSERT(next != 0, "internal node with missing child");
+        node = next - 1;
+    }
+
+    // Leaf: match rule records in priority order, first hit wins.
+    const Addr naddr = nodeAddr(node);
+    const unsigned n = mem.load<std::uint8_t>(naddr + offLeafCount);
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint32_t rid =
+            mem.load<std::uint32_t>(naddr + offRuleIds + 4 * i);
+        const Addr rec = ruleArray + rid * ruleRecordBytes;
+        recordRef(trace, rec, ruleRecordBytes, false,
+                  AccessPhase::KeyValue, /*depends=*/true);
+        bool match = true;
+        for (unsigned b = 0; b < FiveTuple::keyBytes && match; ++b) {
+            const auto mask_byte =
+                mem.load<std::uint8_t>(rec + 16 + b);
+            const auto want = mem.load<std::uint8_t>(rec + b);
+            match = (key[b] & mask_byte) == want;
+        }
+        if (match) {
+            TreeMatch result;
+            result.priority = mem.load<std::uint16_t>(rec + 32);
+            result.action.port = mem.load<std::uint16_t>(rec + 34);
+            result.action.kind = static_cast<ActionKind>(
+                mem.load<std::uint8_t>(rec + 36));
+            result.ruleIndex = rid;
+            return result;
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+DecisionTree::footprintBytes() const
+{
+    return cacheLineBytes +
+           static_cast<std::uint64_t>(nodeCount) * cacheLineBytes +
+           static_cast<std::uint64_t>(ruleCount) * ruleRecordBytes;
+}
+
+void
+DecisionTree::forEachLine(const std::function<void(Addr)> &fn) const
+{
+    fn(header);
+    for (std::uint32_t n = 0; n < nodeCount; ++n)
+        fn(nodeAddr(n));
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(ruleCount) * ruleRecordBytes;
+    for (std::uint64_t off = 0; off < bytes; off += cacheLineBytes)
+        fn(ruleArray + off);
+}
+
+} // namespace halo

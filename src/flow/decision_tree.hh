@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Decision-tree packet classifier (HiCuts/EffiCuts family), the second
+ * data structure the paper names as a HALO target (SS4.8: "EffiCuts
+ * uses a decision tree for packet classification ... Halo accelerator
+ * can be used to conduct the comparison with the nodes in the tree").
+ *
+ * The tree recursively cuts the five-tuple key space one byte at a
+ * time; rules whose mask wildcards the cut byte replicate into both
+ * children (the classic HiCuts replication). Nodes and serialized rule
+ * records live in simulated memory with a self-describing header, so
+ * both the software walk and the HALO accelerator's tree-walk
+ * microprogram (core/accelerator) operate on the same bytes.
+ */
+
+#ifndef HALO_FLOW_DECISION_TREE_HH
+#define HALO_FLOW_DECISION_TREE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "flow/rule.hh"
+#include "hash/access.hh"
+#include "mem/sim_memory.hh"
+
+namespace halo {
+
+/** Magic tag of a tree header line. */
+inline constexpr std::uint32_t treeMagic = 0x54524545u; // "TREE"
+
+/**
+ * On-memory layouts (shared with the accelerator model):
+ *
+ * header line (64 B):
+ *   u32 magic, u32 keyLen, u64 rootAddr, u64 ruleArrayAddr,
+ *   u32 numRules, u32 numNodes, u32 ruleRecordBytes, u32 pad
+ *
+ * node line (64 B):
+ *   u8  kind (0 = internal, 1 = leaf)
+ *   u8  cutByte          (internal: which key byte is compared)
+ *   u8  threshold        (internal: key[cutByte] < threshold -> left)
+ *   u8  leafCount        (leaf: number of rule ids)
+ *   u32 left, u32 right  (internal: node indices + 1)
+ *   u32 ruleIds[13]      (leaf)
+ *
+ * rule record (48 B): maskedKey[16], mask[16], u16 priority,
+ *   u16 actionPort, u8 actionKind, pad.
+ */
+struct TreeHeader
+{
+    std::uint32_t magic = treeMagic;
+    std::uint32_t keyLen = FiveTuple::keyBytes;
+    std::uint64_t rootAddr = 0;
+    std::uint64_t ruleArrayAddr = 0;
+    std::uint32_t numRules = 0;
+    std::uint32_t numNodes = 0;
+    std::uint32_t ruleRecordBytes = 48;
+    std::uint32_t pad = 0;
+};
+
+static_assert(sizeof(TreeHeader) <= cacheLineBytes);
+
+/** Maximum rule ids storable inline in a leaf node. */
+inline constexpr unsigned treeLeafCapacity = 13;
+
+/** A decision-tree match. */
+struct TreeMatch
+{
+    Action action;
+    std::uint16_t priority = 0;
+    std::uint32_t ruleIndex = 0;
+};
+
+/**
+ * The classifier. Built once from a RuleSet; read-only afterwards
+ * (like the HALO-visible hash tables).
+ */
+class DecisionTree
+{
+  public:
+    struct Config
+    {
+        /// Stop cutting once a node holds this many rules or fewer.
+        unsigned leafRules = treeLeafCapacity;
+        /// Hard depth cap (replication can defeat the cuts).
+        unsigned maxDepth = 16;
+    };
+
+    DecisionTree(SimMemory &memory, const RuleSet &rules);
+    DecisionTree(SimMemory &memory, const RuleSet &rules,
+                 const Config &config);
+
+    /** Software classify with optional reference recording. */
+    std::optional<TreeMatch>
+    classify(std::span<const std::uint8_t> key,
+             AccessTrace *trace = nullptr) const;
+
+    /** Simulated address of the self-describing header (the "table
+     *  address" a HALO tree query carries). */
+    Addr headerAddr() const { return header; }
+
+    std::uint32_t numNodes() const { return nodeCount; }
+    std::uint32_t numRules() const { return ruleCount; }
+    unsigned depth() const { return builtDepth; }
+    std::uint64_t footprintBytes() const;
+
+    /** Iterate every line (cache warming). */
+    void forEachLine(const std::function<void(Addr)> &fn) const;
+
+  private:
+    std::uint32_t buildNode(const std::vector<std::uint32_t> &rule_ids,
+                            const RuleSet &rules, unsigned depth);
+    Addr nodeAddr(std::uint32_t idx) const
+    {
+        return nodeBase + static_cast<Addr>(idx) * cacheLineBytes;
+    }
+
+    SimMemory &mem;
+    Config cfg;
+    Addr header = invalidAddr;
+    Addr nodeBase = invalidAddr;
+    Addr ruleArray = invalidAddr;
+    std::uint32_t nodeCount = 0;
+    std::uint32_t nodeCapacity = 0;
+    std::uint32_t ruleCount = 0;
+    unsigned builtDepth = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_FLOW_DECISION_TREE_HH

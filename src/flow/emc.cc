@@ -1,0 +1,104 @@
+#include "flow/emc.hh"
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+/** Slot field offsets. */
+constexpr std::uint64_t sigOffset = 0;
+constexpr std::uint64_t genOffset = 4;
+constexpr std::uint64_t keyOffset = 8;
+constexpr std::uint64_t valueOffset = 24;
+
+} // namespace
+
+ExactMatchCache::ExactMatchCache(SimMemory &memory, std::uint64_t entries,
+                                 std::uint64_t seed)
+    : mem(memory), numEntries(entries), seed_(seed)
+{
+    HALO_ASSERT(isPowerOfTwo(entries), "EMC entry count: power of two");
+    base = mem.allocate(entries * slotBytes, cacheLineBytes);
+    mem.zero(base, entries * slotBytes);
+}
+
+std::uint64_t
+ExactMatchCache::hashKey(
+    std::span<const std::uint8_t, FiveTuple::keyBytes> key) const
+{
+    return hashBytes(HashKind::XxMix, seed_,
+                     std::span<const std::uint8_t>(key.data(),
+                                                   key.size()));
+}
+
+std::optional<std::uint64_t>
+ExactMatchCache::lookup(
+    std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+    AccessTrace *trace) const
+{
+    const std::uint64_t h = hashKey(key);
+    const std::uint32_t sig = shortSignature(h);
+    // Two candidate positions from independent halves of the hash
+    // (OVS's EMC_FOR_EACH_POS_WITH_HASH probing).
+    const std::uint64_t idx[2] = {h & (numEntries - 1),
+                                  (h >> 32) & (numEntries - 1)};
+
+    for (int probe = 0; probe < 2; ++probe) {
+        const Addr slot = slotAddr(idx[probe]);
+        recordRef(trace, slot, slotBytes, false, AccessPhase::Bucket,
+                  probe == 0);
+        if (mem.load<std::uint32_t>(slot + genOffset) != generation)
+            continue;
+        if (mem.load<std::uint32_t>(slot + sigOffset) != sig)
+            continue;
+        if (mem.equals(slot + keyOffset, key.data(), key.size()))
+            return mem.load<std::uint64_t>(slot + valueOffset);
+        if (idx[0] == idx[1])
+            break;
+    }
+    return std::nullopt;
+}
+
+void
+ExactMatchCache::insert(
+    std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+    std::uint64_t value, AccessTrace *trace)
+{
+    const std::uint64_t h = hashKey(key);
+    const std::uint32_t sig = shortSignature(h);
+    const std::uint64_t idx[2] = {h & (numEntries - 1),
+                                  (h >> 32) & (numEntries - 1)};
+
+    // Prefer an invalid slot; otherwise overwrite the first candidate
+    // (EMC entries are expendable — it is a cache, not a store).
+    Addr victim = slotAddr(idx[0]);
+    for (int probe = 0; probe < 2; ++probe) {
+        const Addr slot = slotAddr(idx[probe]);
+        if (mem.load<std::uint32_t>(slot + genOffset) != generation) {
+            victim = slot;
+            break;
+        }
+        // Same key already present: update in place.
+        if (mem.load<std::uint32_t>(slot + sigOffset) == sig &&
+            mem.equals(slot + keyOffset, key.data(), key.size())) {
+            victim = slot;
+            break;
+        }
+    }
+
+    mem.store<std::uint32_t>(victim + sigOffset, sig);
+    mem.store<std::uint32_t>(victim + genOffset, generation);
+    mem.write(victim + keyOffset, key.data(), key.size());
+    mem.store<std::uint64_t>(victim + valueOffset, value);
+    recordRef(trace, victim, slotBytes, true, AccessPhase::Bucket);
+}
+
+void
+ExactMatchCache::clear()
+{
+    // Bumping the generation invalidates every entry in O(1).
+    ++generation;
+}
+
+} // namespace halo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Exact Match Cache — the first datapath layer of the virtual switch
+ * (paper Fig. 2a).
+ *
+ * The EMC is a small fixed-size signature cache keyed on the full packet
+ * header: one hash, two candidate entries, replace-on-miss. It lives in
+ * simulated memory so its (small) cache footprint and its limited
+ * capacity — the reason MegaFlow dominates at high flow counts — are
+ * both real in the model.
+ */
+
+#ifndef HALO_FLOW_EMC_HH
+#define HALO_FLOW_EMC_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "hash/access.hh"
+#include "hash/hash_fn.hh"
+#include "mem/sim_memory.hh"
+#include "net/headers.hh"
+
+namespace halo {
+
+/**
+ * OVS-style exact-match cache: 8192 entries by default, 2-way
+ * pseudo-associative on one hash.
+ */
+class ExactMatchCache
+{
+  public:
+    ExactMatchCache(SimMemory &memory, std::uint64_t entries = 8192,
+                    std::uint64_t seed = 0x9d1cu);
+
+    /** Look up a full key; hit returns the stored value. */
+    std::optional<std::uint64_t>
+    lookup(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+           AccessTrace *trace = nullptr) const;
+
+    /** Insert (replaces the older of the two candidates on conflict). */
+    void insert(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+                std::uint64_t value, AccessTrace *trace = nullptr);
+
+    /** Invalidate everything (rule-table revalidation). */
+    void clear();
+
+    std::uint64_t entryCount() const { return numEntries; }
+    std::uint64_t footprintBytes() const { return numEntries * slotBytes; }
+    Addr baseAddr() const { return base; }
+
+    /** Iterate all lines for cache warming. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (std::uint64_t off = 0; off < footprintBytes();
+             off += cacheLineBytes)
+            fn(base + off);
+    }
+
+  private:
+    /// Slot: u32 sig, u32 generation, 16B key, u64 value = 32 bytes.
+    static constexpr std::uint64_t slotBytes = 32;
+
+    Addr slotAddr(std::uint64_t idx) const { return base + idx * slotBytes; }
+    std::uint64_t hashKey(
+        std::span<const std::uint8_t, FiveTuple::keyBytes> key) const;
+
+    SimMemory &mem;
+    std::uint64_t numEntries;
+    std::uint64_t seed_;
+    Addr base = invalidAddr;
+    std::uint32_t generation = 1;
+};
+
+} // namespace halo
+
+#endif // HALO_FLOW_EMC_HH

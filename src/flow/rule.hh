@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Match-action rules for flow classification.
+ */
+
+#ifndef HALO_FLOW_RULE_HH
+#define HALO_FLOW_RULE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.hh"
+
+namespace halo {
+
+/** What to do with a matched flow. */
+enum class ActionKind : std::uint8_t
+{
+    Forward, ///< output to a port
+    Drop,
+    Nat,     ///< rewrite + forward
+    Mirror,  ///< copy to a monitor port and forward
+};
+
+/** A match-action rule's action. */
+struct Action
+{
+    ActionKind kind = ActionKind::Forward;
+    std::uint16_t port = 0;
+
+    /**
+     * Dense encoding used as the hash-table value: kind in the top byte,
+     * port in the low 16 bits. Value 0 is never produced (Forward to
+     * port 0 encodes as a set marker bit), so 0 can mean "no action".
+     */
+    constexpr std::uint64_t
+    encode() const
+    {
+        return (1ull << 63) |
+               (static_cast<std::uint64_t>(kind) << 16) | port;
+    }
+
+    static constexpr Action
+    decode(std::uint64_t value)
+    {
+        Action a;
+        a.kind = static_cast<ActionKind>((value >> 16) & 0xff);
+        a.port = static_cast<std::uint16_t>(value & 0xffff);
+        return a;
+    }
+
+    bool
+    operator==(const Action &other) const
+    {
+        return kind == other.kind && port == other.port;
+    }
+};
+
+/** One classification rule: mask + masked key + priority + action. */
+struct FlowRule
+{
+    FlowMask mask;
+    std::array<std::uint8_t, FiveTuple::keyBytes> maskedKey{};
+    std::uint16_t priority = 0;
+    Action action;
+
+    /** True when @p key matches this rule. */
+    bool
+    matches(std::span<const std::uint8_t> key) const
+    {
+        return mask.apply(key) == maskedKey;
+    }
+};
+
+/** A whole rule table. */
+using RuleSet = std::vector<FlowRule>;
+
+} // namespace halo
+
+#endif // HALO_FLOW_RULE_HH

@@ -1,0 +1,152 @@
+#include "flow/ruleset.hh"
+
+#include <unordered_set>
+
+#include "hash/hash_fn.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace halo {
+
+std::vector<FlowMask>
+canonicalMasks(unsigned n)
+{
+    // Ordered roughly most-specific first, as OVS sorts tuples by hit
+    // frequency and specific overlay masks tend to dominate.
+    // Note: exact() is NOT fields(32,32,true,true,true) — the latter
+    // would be identical; the second entry differs in the port fields.
+    static const FlowMask library[] = {
+        FlowMask::exact(),
+        FlowMask::fields(32, 32, true, true, false),
+        FlowMask::fields(32, 32, false, true, true),
+        FlowMask::fields(32, 32, true, false, true),
+        FlowMask::fields(32, 24, false, true, true),
+        FlowMask::fields(24, 32, false, true, true),
+        FlowMask::fields(24, 24, false, true, true),
+        FlowMask::fields(24, 24, false, false, true),
+        FlowMask::fields(16, 24, false, true, false),
+        FlowMask::fields(24, 16, false, false, true),
+        FlowMask::fields(16, 16, false, true, false),
+        FlowMask::fields(16, 16, false, false, false),
+        FlowMask::fields(8, 16, false, false, true),
+        FlowMask::fields(16, 8, false, false, false),
+        FlowMask::fields(8, 8, false, true, false),
+        FlowMask::fields(8, 8, false, false, false),
+        FlowMask::fields(0, 16, false, true, false),
+        FlowMask::fields(16, 0, false, false, true),
+        FlowMask::fields(0, 12, false, false, true),
+        FlowMask::fields(12, 0, false, false, false),
+    };
+    constexpr unsigned library_size =
+        sizeof(library) / sizeof(library[0]);
+    HALO_ASSERT(n >= 1 && n <= library_size, "mask library holds ",
+                library_size, " masks");
+    return std::vector<FlowMask>(library, library + n);
+}
+
+RuleSet
+deriveRules(const std::vector<FiveTuple> &flows,
+            const std::vector<FlowMask> &masks, std::uint64_t max_rules,
+            std::uint64_t seed)
+{
+    HALO_ASSERT(!masks.empty());
+    Xoshiro256 rng(seed);
+    RuleSet rules;
+    std::unordered_set<std::uint64_t> seen;
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (max_rules && rules.size() >= max_rules)
+            break;
+        const FlowMask &mask = masks[i % masks.size()];
+        const auto key = flows[i].toKey();
+        const auto masked = mask.apply(key);
+
+        // Dedupe on (mask index, masked key).
+        std::uint64_t digest = hashBytes(
+            HashKind::XxMix, i % masks.size(),
+            std::span<const std::uint8_t>(masked.data(), masked.size()));
+        if (!seen.insert(digest).second)
+            continue;
+
+        FlowRule rule;
+        rule.mask = mask;
+        rule.maskedKey = masked;
+        // Specific masks win ties; small random component breaks the
+        // rest.
+        rule.priority = static_cast<std::uint16_t>(
+            (masks.size() - i % masks.size()) * 16 +
+            rng.nextBounded(16));
+        rule.action.kind = ActionKind::Forward;
+        rule.action.port =
+            static_cast<std::uint16_t>(rng.nextBounded(64));
+        rules.push_back(rule);
+    }
+    return rules;
+}
+
+RuleSet
+scenarioRules(TrafficScenario scenario,
+              const std::vector<FiveTuple> &flows, std::uint64_t seed)
+{
+    switch (scenario) {
+      case TrafficScenario::SmallFlowCount:
+        // Overlay: a couple of specific encapsulation patterns; one rule
+        // per (collapsed) flow.
+        return deriveRules(flows, canonicalMasks(2), 0, seed);
+
+      case TrafficScenario::ManyFlows: {
+        // Container steering: a handful of steering rules; megaflow
+        // entries are capped so the tuple tables stay LLC-scale even at
+        // 1M flows (matching the paper's Fig. 4 observation that the
+        // cuckoo tables remain mostly LLC-resident). Flows beyond the
+        // cap walk the whole tuple space and miss, like pre-upcall
+        // packets in OVS.
+        auto masks = canonicalMasks(5);
+        const std::uint64_t cap =
+            std::min<std::uint64_t>(flows.size(), 200000);
+        return deriveRules(flows, masks, cap, seed);
+      }
+
+      case TrafficScenario::ManyFlowsHotRules: {
+        // Gateway/ToR: ~20 hot rules, each with its own broad wildcard
+        // pattern, so classification walks a deep tuple space of tiny
+        // tables (the paper's most classification-bound configuration).
+        // Masks are ordered most-specific first, as OVS's tuple list
+        // would be, which makes the average walk cover half the space.
+        std::vector<FlowMask> broad;
+        for (const unsigned src : {12u, 10u, 8u, 6u, 4u}) {
+            for (const unsigned dst : {8u, 6u, 4u, 0u}) {
+                broad.push_back(
+                    FlowMask::fields(src, dst, false, false,
+                                     (src + dst) % 3 == 0));
+            }
+        }
+        return deriveRules(flows, broad, 0, seed);
+      }
+    }
+    panic("unknown scenario");
+}
+
+std::uint64_t
+maxRulesPerMask(const RuleSet &rules)
+{
+    std::vector<std::pair<FlowMask, std::uint64_t>> counts;
+    for (const FlowRule &rule : rules) {
+        bool found = false;
+        for (auto &kv : counts) {
+            if (kv.first == rule.mask) {
+                ++kv.second;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            counts.emplace_back(rule.mask, 1);
+    }
+    std::uint64_t max_count = 0;
+    for (const auto &kv : counts)
+        max_count = std::max(max_count, kv.second);
+    return max_count;
+}
+
+} // namespace halo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Rule-set synthesis for the paper's workload scenarios.
+ *
+ * Rules are derived from the traffic's own flow population so every
+ * generated packet matches some rule — mirroring how OVS's MegaFlow
+ * layer is populated by the flows actually seen. Mask breadth controls
+ * how many distinct rules survive deduplication: broad masks collapse a
+ * million flows onto ~20 hot rules (the gateway scenario), narrow masks
+ * produce one rule per flow (the container-steering scenario).
+ */
+
+#ifndef HALO_FLOW_RULESET_HH
+#define HALO_FLOW_RULESET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/rule.hh"
+#include "net/traffic_gen.hh"
+
+namespace halo {
+
+/** A library of @p n distinct wildcard masks of decreasing specificity. */
+std::vector<FlowMask> canonicalMasks(unsigned n);
+
+/**
+ * Derive a deduplicated rule set from @p flows.
+ *
+ * @param flows     the traffic's flow population
+ * @param masks     the wildcard patterns to spread flows across
+ * @param max_rules stop once this many rules exist (0 = unlimited)
+ * @param seed      randomizes priorities and port assignments
+ */
+RuleSet deriveRules(const std::vector<FiveTuple> &flows,
+                    const std::vector<FlowMask> &masks,
+                    std::uint64_t max_rules, std::uint64_t seed);
+
+/** Scenario-appropriate rules for a flow population (paper SS3.2). */
+RuleSet scenarioRules(TrafficScenario scenario,
+                      const std::vector<FiveTuple> &flows,
+                      std::uint64_t seed);
+
+/**
+ * Largest number of rules sharing one mask in @p rules — the capacity a
+ * tuple table must provide. Sizing tuple tables to this (plus slack)
+ * keeps their footprint proportional to the installed rules.
+ */
+std::uint64_t maxRulesPerMask(const RuleSet &rules);
+
+} // namespace halo
+
+#endif // HALO_FLOW_RULESET_HH

@@ -1,0 +1,101 @@
+#include "flow/tuple_space.hh"
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+TupleSpace::TupleSpace(SimMemory &memory) : mem(memory), cfg()
+{
+}
+
+TupleSpace::TupleSpace(SimMemory &memory, const Config &config)
+    : mem(memory), cfg(config)
+{
+}
+
+bool
+TupleSpace::addRule(const FlowRule &rule)
+{
+    Tuple *tuple = nullptr;
+    for (auto &t : tuples) {
+        if (t->mask == rule.mask) {
+            tuple = t.get();
+            break;
+        }
+    }
+    if (!tuple) {
+        CuckooHashTable::Config tcfg;
+        tcfg.keyLen = FiveTuple::keyBytes;
+        tcfg.capacity = cfg.tupleCapacity;
+        tcfg.hashKind = cfg.hashKind;
+        tcfg.seed = cfg.seed + tuples.size() * 0x9e3779b9u;
+        tuples.push_back(
+            std::make_unique<Tuple>(mem, rule.mask, tcfg));
+        tuple = tuples.back().get();
+    }
+    const std::uint64_t value = encodeRuleValue(rule.action,
+                                                rule.priority);
+    return tuple->table.insert(
+        KeyView(rule.maskedKey.data(), rule.maskedKey.size()), value);
+}
+
+std::optional<TupleMatch>
+TupleSpace::lookupFirst(std::span<const std::uint8_t> key,
+                        AccessTrace *trace) const
+{
+    HALO_ASSERT(key.size() == FiveTuple::keyBytes);
+    unsigned searched = 0;
+    for (unsigned i = 0; i < tuples.size(); ++i) {
+        const auto masked = tuples[i]->mask.apply(key);
+        ++searched;
+        if (auto value = tuples[i]->table.lookup(
+                KeyView(masked.data(), masked.size()), trace)) {
+            TupleMatch match;
+            match.value = *value;
+            match.priority = decodeRulePriority(*value);
+            match.tupleIndex = i;
+            match.tuplesSearched = searched;
+            return match;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<TupleMatch>
+TupleSpace::lookupBest(std::span<const std::uint8_t> key,
+                       AccessTrace *trace) const
+{
+    HALO_ASSERT(key.size() == FiveTuple::keyBytes);
+    std::optional<TupleMatch> best;
+    for (unsigned i = 0; i < tuples.size(); ++i) {
+        const auto masked = tuples[i]->mask.apply(key);
+        if (auto value = tuples[i]->table.lookup(
+                KeyView(masked.data(), masked.size()), trace)) {
+            const std::uint16_t prio = decodeRulePriority(*value);
+            if (!best || prio > best->priority) {
+                best = TupleMatch{*value, prio, i, 0};
+            }
+        }
+    }
+    if (best)
+        best->tuplesSearched = numTuples();
+    return best;
+}
+
+std::uint64_t
+TupleSpace::ruleCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : tuples)
+        n += t->table.size();
+    return n;
+}
+
+void
+TupleSpace::forEachLine(const std::function<void(Addr)> &fn) const
+{
+    for (const auto &t : tuples)
+        t->table.forEachLine(fn);
+}
+
+} // namespace halo

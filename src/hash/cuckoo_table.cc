@@ -1,0 +1,411 @@
+#include "hash/cuckoo_table.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+CuckooHashTable::CuckooHashTable(SimMemory &memory, const Config &config)
+    : mem(memory)
+{
+    HALO_ASSERT(config.keyLen >= 4 && config.keyLen <= 64,
+                "key length must be 4..64 bytes");
+    HALO_ASSERT(config.capacity > 0);
+    HALO_ASSERT(config.maxLoadFactor > 0.05 &&
+                config.maxLoadFactor <= 0.96);
+
+    const std::uint64_t wanted_entries = static_cast<std::uint64_t>(
+        static_cast<double>(config.capacity) / config.maxLoadFactor);
+    std::uint64_t buckets =
+        nextPowerOfTwo(ceilDiv(wanted_entries, entriesPerBucket));
+    if (buckets < 2)
+        buckets = 2; // two distinct candidate buckets need >= 2
+
+    md.magic = tableMagic;
+    md.keyLen = config.keyLen;
+    md.numBuckets = buckets;
+    md.bucketMask = buckets - 1;
+    md.kvSlots = config.capacity;
+    md.kvSlotBytes = kvSlotBytesFor(config.keyLen);
+    md.hashKind = static_cast<std::uint32_t>(config.hashKind);
+    md.seed = config.seed;
+
+    // Metadata (2 lines: metadata + version lock), buckets, kv array.
+    mdAddr = mem.allocate(2 * cacheLineBytes, cacheLineBytes);
+    md.bucketArrayAddr =
+        mem.allocate(buckets * cacheLineBytes, cacheLineBytes);
+    md.kvArrayAddr = mem.allocate(md.kvSlots * md.kvSlotBytes,
+                                  cacheLineBytes);
+
+    mem.store(mdAddr, md);
+    mem.store<std::uint64_t>(versionAddr(), 0);
+    mem.zero(md.bucketArrayAddr, buckets * cacheLineBytes);
+
+    freeSlots.reserve(md.kvSlots);
+    for (std::uint64_t s = md.kvSlots; s > 0; --s)
+        freeSlots.push_back(static_cast<std::uint32_t>(s - 1));
+}
+
+std::uint64_t
+CuckooHashTable::primaryBucket(KeyView key, std::uint32_t &sig) const
+{
+    const std::uint64_t h =
+        hashBytes(static_cast<HashKind>(md.hashKind), md.seed, key);
+    sig = shortSignature(h);
+    return h & md.bucketMask;
+}
+
+BucketEntry
+CuckooHashTable::readEntry(std::uint64_t bucket, unsigned way) const
+{
+    return mem.load<BucketEntry>(bucketEntryAddr(md, bucket, way));
+}
+
+void
+CuckooHashTable::writeEntry(std::uint64_t bucket, unsigned way,
+                            const BucketEntry &entry)
+{
+    mem.store(bucketEntryAddr(md, bucket, way), entry);
+}
+
+bool
+CuckooHashTable::keyMatches(std::uint32_t slot, KeyView key) const
+{
+    std::uint8_t stored[64];
+    mem.read(kvSlotAddr(md, slot) + kvKeyOffset, stored, md.keyLen);
+    return std::equal(key.begin(), key.end(), stored);
+}
+
+std::optional<CuckooHashTable::Located>
+CuckooHashTable::find(KeyView key, std::uint32_t sig, std::uint64_t b1,
+                      std::uint64_t b2) const
+{
+    for (std::uint64_t bucket : {b1, b2}) {
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            const BucketEntry entry = readEntry(bucket, way);
+            if (entry.kvRef != 0 && entry.sig == sig &&
+                keyMatches(entry.kvRef - 1, key)) {
+                return Located{bucket, way, entry.kvRef - 1};
+            }
+        }
+        if (b1 == b2)
+            break;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
+                        Addr key_addr) const
+{
+    HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
+
+    // Metadata is consulted first (hot in L1 for the software path).
+    recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
+    // Optimistic lock: sample the version counter.
+    recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+    // Fetch the key itself. Keys produced by header extraction live on
+    // the stack; callers with an in-memory key pass its real address via
+    // key_addr so the timing model sees the true location.
+    recordRef(trace, key_addr, static_cast<std::uint16_t>(md.keyLen),
+              false, AccessPhase::KeyFetch);
+
+    std::uint32_t sig = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+    // Probe branches on tiny tables are learnable by the predictor.
+    const bool low_entropy = md.numBuckets <= 8;
+
+    // DPDK software-prefetches both candidate buckets, so the two bucket
+    // loads are independent of each other; each kv probe depends on its
+    // bucket's contents.
+    recordRef(trace, bucketAddr(md, b1), cacheLineBytes, false,
+              AccessPhase::Bucket, /*depends=*/true);
+    if (trace)
+        trace->back().lowEntropyBranch = low_entropy;
+    std::optional<Located> loc;
+    for (unsigned way = 0; way < entriesPerBucket && !loc; ++way) {
+        const BucketEntry entry = readEntry(b1, way);
+        if (entry.kvRef != 0 && entry.sig == sig) {
+            recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
+                      static_cast<std::uint16_t>(md.kvSlotBytes), false,
+                      AccessPhase::KeyValue, /*depends=*/true);
+            if (trace)
+                trace->back().lowEntropyBranch = low_entropy;
+            if (keyMatches(entry.kvRef - 1, key))
+                loc = Located{b1, way, entry.kvRef - 1};
+        }
+    }
+    if (!loc && b2 != b1) {
+        recordRef(trace, bucketAddr(md, b2), cacheLineBytes, false,
+                  AccessPhase::Bucket, /*depends=*/false);
+        if (trace)
+            trace->back().lowEntropyBranch = low_entropy;
+        for (unsigned way = 0; way < entriesPerBucket && !loc; ++way) {
+            const BucketEntry entry = readEntry(b2, way);
+            if (entry.kvRef != 0 && entry.sig == sig) {
+                recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
+                          static_cast<std::uint16_t>(md.kvSlotBytes),
+                          false, AccessPhase::KeyValue, /*depends=*/true);
+                if (trace)
+                    trace->back().lowEntropyBranch = low_entropy;
+                if (keyMatches(entry.kvRef - 1, key))
+                    loc = Located{b2, way, entry.kvRef - 1};
+            }
+        }
+    }
+
+    // Optimistic lock: re-validate the version counter.
+    recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+
+    if (!loc)
+        return std::nullopt;
+    return mem.load<std::uint64_t>(kvSlotAddr(md, loc->slot) +
+                                   kvValueOffset);
+}
+
+std::uint32_t
+CuckooHashTable::allocSlot()
+{
+    HALO_ASSERT(!freeSlots.empty(), "kv array exhausted");
+    const std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    return slot;
+}
+
+void
+CuckooHashTable::freeSlot(std::uint32_t slot)
+{
+    freeSlots.push_back(slot);
+}
+
+void
+CuckooHashTable::bumpVersion(AccessTrace *trace)
+{
+    const std::uint64_t v = mem.load<std::uint64_t>(versionAddr());
+    mem.store<std::uint64_t>(versionAddr(), v + 1);
+    recordRef(trace, versionAddr(), 8, true, AccessPhase::Lock);
+}
+
+bool
+CuckooHashTable::makeRoom(std::uint64_t start_bucket, AccessTrace *trace)
+{
+    // BFS over displacement candidates: each frontier node is a bucket
+    // slot whose occupant could move to its alternative bucket.
+    struct Node
+    {
+        std::uint64_t bucket;
+        unsigned way;
+        int parent; ///< index into `nodes`, -1 for roots
+    };
+    constexpr unsigned maxNodes = 2048;
+
+    std::vector<Node> nodes;
+    std::deque<int> frontier;
+    // Each bucket is expanded at most once so a displacement path never
+    // visits the same slot twice (the alternative-bucket XOR is an
+    // involution, so unrestricted BFS could cycle back).
+    std::vector<std::uint64_t> visited{start_bucket};
+    for (unsigned way = 0; way < entriesPerBucket; ++way) {
+        nodes.push_back(Node{start_bucket, way, -1});
+        frontier.push_back(static_cast<int>(nodes.size() - 1));
+    }
+
+    int free_node = -1;
+    std::uint64_t free_bucket = 0;
+    unsigned free_way = 0;
+
+    while (!frontier.empty() && nodes.size() < maxNodes) {
+        const int idx = frontier.front();
+        frontier.pop_front();
+        const Node node = nodes[idx];
+
+        const BucketEntry entry = readEntry(node.bucket, node.way);
+        HALO_ASSERT(entry.kvRef != 0, "BFS reached an empty slot early");
+        const std::uint64_t alt =
+            alternativeBucket(node.bucket, entry.sig, md.bucketMask);
+        recordRef(trace, bucketAddr(md, alt), cacheLineBytes, false,
+                  AccessPhase::Bucket);
+        if (alt == node.bucket ||
+            std::find(visited.begin(), visited.end(), alt) !=
+                visited.end()) {
+            continue;
+        }
+        bool found_free = false;
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            const BucketEntry alt_entry = readEntry(alt, way);
+            if (alt_entry.kvRef == 0) {
+                free_node = idx;
+                free_bucket = alt;
+                free_way = way;
+                found_free = true;
+                break;
+            }
+        }
+        if (found_free)
+            break;
+        visited.push_back(alt);
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            nodes.push_back(Node{alt, way, idx});
+            frontier.push_back(static_cast<int>(nodes.size() - 1));
+        }
+    }
+
+    if (free_node < 0)
+        return false;
+
+    // Walk the path backwards, moving each occupant into the hole ahead
+    // of it (the "cuckoo move" of Fig. 7a).
+    int idx = free_node;
+    while (idx >= 0) {
+        const Node node = nodes[idx];
+        const BucketEntry entry = readEntry(node.bucket, node.way);
+        writeEntry(free_bucket, free_way, entry);
+        recordRef(trace, bucketEntryAddr(md, free_bucket, free_way),
+                  bucketEntryBytes, true, AccessPhase::Bucket);
+        writeEntry(node.bucket, node.way, BucketEntry{});
+        recordRef(trace, bucketEntryAddr(md, node.bucket, node.way),
+                  bucketEntryBytes, true, AccessPhase::Bucket);
+        ++displaceCount;
+        free_bucket = node.bucket;
+        free_way = node.way;
+        idx = node.parent;
+    }
+    HALO_ASSERT(free_bucket == start_bucket,
+                "displacement path must end at the requested bucket");
+    return true;
+}
+
+bool
+CuckooHashTable::insert(KeyView key, std::uint64_t value,
+                        AccessTrace *trace)
+{
+    HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
+
+    std::uint32_t sig = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+
+    recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
+    recordRef(trace, bucketAddr(md, b1), cacheLineBytes, false,
+              AccessPhase::Bucket, true);
+    recordRef(trace, bucketAddr(md, b2), cacheLineBytes, false,
+              AccessPhase::Bucket);
+
+    // Update in place when the key already exists.
+    if (auto loc = find(key, sig, b1, b2)) {
+        bumpVersion(trace);
+        mem.store(kvSlotAddr(md, loc->slot) + kvValueOffset, value);
+        recordRef(trace, kvSlotAddr(md, loc->slot), 8, true,
+                  AccessPhase::KeyValue, true);
+        bumpVersion(trace);
+        return true;
+    }
+
+    if (numItems >= md.kvSlots)
+        return false; // kv array full
+
+    // Find a free way in either candidate bucket.
+    std::uint64_t target_bucket = b1;
+    int target_way = -1;
+    for (std::uint64_t bucket : {b1, b2}) {
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            if (readEntry(bucket, way).kvRef == 0) {
+                target_bucket = bucket;
+                target_way = static_cast<int>(way);
+                break;
+            }
+        }
+        if (target_way >= 0 || b1 == b2)
+            break;
+    }
+
+    bumpVersion(trace);
+    if (target_way < 0) {
+        // Both buckets full: displace recursively (BFS) to free a way in
+        // the primary bucket.
+        if (!makeRoom(b1, trace)) {
+            bumpVersion(trace);
+            return false;
+        }
+        target_bucket = b1;
+        target_way = -1;
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            if (readEntry(b1, way).kvRef == 0) {
+                target_way = static_cast<int>(way);
+                break;
+            }
+        }
+        HALO_ASSERT(target_way >= 0, "makeRoom left no free way");
+    }
+
+    const std::uint32_t slot = allocSlot();
+    const Addr slot_addr = kvSlotAddr(md, slot);
+    mem.store(slot_addr + kvValueOffset, value);
+    mem.write(slot_addr + kvKeyOffset, key.data(), key.size());
+    recordRef(trace, slot_addr, static_cast<std::uint16_t>(md.kvSlotBytes),
+              true, AccessPhase::KeyValue);
+
+    writeEntry(target_bucket, static_cast<unsigned>(target_way),
+               BucketEntry{sig, slot + 1});
+    recordRef(trace,
+              bucketEntryAddr(md, target_bucket,
+                              static_cast<unsigned>(target_way)),
+              bucketEntryBytes, true, AccessPhase::Bucket);
+    bumpVersion(trace);
+    ++numItems;
+    return true;
+}
+
+bool
+CuckooHashTable::erase(KeyView key, AccessTrace *trace)
+{
+    HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
+
+    std::uint32_t sig = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+
+    recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
+    recordRef(trace, bucketAddr(md, b1), cacheLineBytes, false,
+              AccessPhase::Bucket, true);
+
+    auto loc = find(key, sig, b1, b2);
+    if (!loc)
+        return false;
+    if (loc->bucket == b2)
+        recordRef(trace, bucketAddr(md, b2), cacheLineBytes, false,
+                  AccessPhase::Bucket);
+
+    bumpVersion(trace);
+    writeEntry(loc->bucket, loc->way, BucketEntry{});
+    recordRef(trace, bucketEntryAddr(md, loc->bucket, loc->way),
+              bucketEntryBytes, true, AccessPhase::Bucket);
+    freeSlot(loc->slot);
+    bumpVersion(trace);
+    --numItems;
+    return true;
+}
+
+std::uint64_t
+CuckooHashTable::footprintBytes() const
+{
+    return 2 * cacheLineBytes + md.numBuckets * cacheLineBytes +
+           md.kvSlots * md.kvSlotBytes;
+}
+
+void
+CuckooHashTable::forEachLine(const std::function<void(Addr)> &fn) const
+{
+    fn(mdAddr);
+    fn(versionAddr());
+    for (std::uint64_t b = 0; b < md.numBuckets; ++b)
+        fn(bucketAddr(md, b));
+    const std::uint64_t kv_bytes = md.kvSlots * md.kvSlotBytes;
+    for (std::uint64_t off = 0; off < kv_bytes; off += cacheLineBytes)
+        fn(md.kvArrayAddr + off);
+}
+
+} // namespace halo

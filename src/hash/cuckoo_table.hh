@@ -1,0 +1,153 @@
+/**
+ * @file
+ * DPDK rte_hash-style 8-way cuckoo hash table over simulated memory.
+ *
+ * This is the software baseline the paper profiles (Table 1, Fig. 4) and
+ * the data structure HALO accelerates: two candidate buckets per key, a
+ * short signature filter in the bucket line, key-value pairs in a
+ * separate contiguous array, and BFS displacement on insert so the table
+ * reaches ~95% occupancy without rehashing.
+ *
+ * All persistent state lives in SimMemory; every functional operation
+ * can record its exact reference stream (AccessTrace) for the timing
+ * models. The optimistic version lock of DPDK's rte_hash is modeled by a
+ * version counter in the table's second metadata line: readers sample it
+ * before and after, writers bump it around modifications (paper SS3.4
+ * measures this protocol at 13.1% of execution time).
+ */
+
+#ifndef HALO_HASH_CUCKOO_TABLE_HH
+#define HALO_HASH_CUCKOO_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hash/access.hh"
+#include "hash/table_layout.hh"
+#include "mem/sim_memory.hh"
+
+namespace halo {
+
+/** Key bytes as viewed by table operations. */
+using KeyView = std::span<const std::uint8_t>;
+
+/**
+ * Cuckoo hash table (paper SS2.2). Thread-unsafe by design: concurrency
+ * is an explicitly modeled effect (software version lock vs HALO
+ * hardware lock), not a host-level property.
+ */
+class CuckooHashTable
+{
+  public:
+    struct Config
+    {
+        std::uint32_t keyLen = 16;       ///< bytes per key
+        std::uint64_t capacity = 1024;   ///< max entries to hold
+        HashKind hashKind = HashKind::XxMix;
+        std::uint64_t seed = 0x5151bead;
+        /// Target max load factor used to size the bucket array.
+        double maxLoadFactor = 0.95;
+    };
+
+    /** Build an empty table inside @p memory. */
+    CuckooHashTable(SimMemory &memory, const Config &config);
+
+    /** @name Functional operations */
+    /**@{*/
+    /**
+     * Find @p key; returns its value when present.
+     * @param trace    optional reference-stream recorder
+     * @param key_addr simulated address the key bytes live at, when the
+     *                 key is in simulated memory (invalidAddr = the key
+     *                 is in registers / on the stack)
+     */
+    std::optional<std::uint64_t> lookup(KeyView key,
+                                        AccessTrace *trace = nullptr,
+                                        Addr key_addr = invalidAddr) const;
+
+    /**
+     * Insert or update @p key. Fails (returns false) only when the
+     * displacement search cannot free a slot — practically never below
+     * the configured load factor.
+     */
+    bool insert(KeyView key, std::uint64_t value,
+                AccessTrace *trace = nullptr);
+
+    /** Remove @p key; true when it was present. */
+    bool erase(KeyView key, AccessTrace *trace = nullptr);
+    /**@}*/
+
+    /** Items currently stored. */
+    std::uint64_t size() const { return numItems; }
+
+    /** Maximum entries the kv array can hold. */
+    std::uint64_t capacity() const { return md.kvSlots; }
+
+    /** Fraction of bucket-entry slots in use. */
+    double
+    loadFactor() const
+    {
+        return static_cast<double>(numItems) /
+               static_cast<double>(md.numBuckets * entriesPerBucket);
+    }
+
+    /** Key length in bytes. */
+    std::uint32_t keyLen() const { return md.keyLen; }
+
+    /** Simulated address of the metadata line — the "table address" the
+     *  lookup instructions carry in RAX (paper SS4.5). */
+    Addr metadataAddr() const { return mdAddr; }
+
+    /** Simulated address of the software version-lock line. */
+    Addr versionAddr() const { return mdAddr + cacheLineBytes; }
+
+    /** Total simulated bytes of all table regions. */
+    std::uint64_t footprintBytes() const;
+
+    /** Invoke @p fn on every line of the table (cache warming). */
+    void forEachLine(const std::function<void(Addr)> &fn) const;
+
+    /** Metadata snapshot (host copy, kept in sync with SimMemory). */
+    const TableMetadata &metadata() const { return md; }
+
+    /** Number of displacement moves performed by inserts so far. */
+    std::uint64_t cuckooMoves() const { return displaceCount; }
+
+  private:
+    struct Located
+    {
+        std::uint64_t bucket;
+        unsigned way;
+        std::uint32_t slot; ///< kv slot index
+    };
+
+    std::uint64_t primaryBucket(KeyView key, std::uint32_t &sig) const;
+    BucketEntry readEntry(std::uint64_t bucket, unsigned way) const;
+    void writeEntry(std::uint64_t bucket, unsigned way,
+                    const BucketEntry &entry);
+    bool keyMatches(std::uint32_t slot, KeyView key) const;
+    std::optional<Located> find(KeyView key, std::uint32_t sig,
+                                std::uint64_t b1, std::uint64_t b2) const;
+
+    /** BFS for a displacement path ending in a free slot. */
+    bool makeRoom(std::uint64_t bucket, AccessTrace *trace);
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    void bumpVersion(AccessTrace *trace);
+
+    SimMemory &mem;
+    TableMetadata md;
+    Addr mdAddr = invalidAddr;
+    std::uint64_t numItems = 0;
+    std::uint64_t displaceCount = 0;
+    std::vector<std::uint32_t> freeSlots; ///< host-side free list
+};
+
+} // namespace halo
+
+#endif // HALO_HASH_CUCKOO_TABLE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hash functions shared by the software tables, the EMC, the tuple-space
+ * classifier, and the HALO accelerator's hash unit.
+ *
+ * The accelerator's hash unit is "implemented with simple logics, such as
+ * boolean, shift, and other bit-wise operations" (paper SS4.3), so every
+ * function here is shift/xor/multiply only.
+ */
+
+#ifndef HALO_HASH_HASH_FN_HH
+#define HALO_HASH_HASH_FN_HH
+
+#include <cstdint>
+#include <span>
+
+namespace halo {
+
+/** Selector stored in table metadata so the accelerator can reproduce
+ *  the table's hash (paper Fig. 6 shows MUL/XOR/shift stages). */
+enum class HashKind : std::uint32_t
+{
+    Crc32c = 0,   ///< software CRC32c (what DPDK rte_hash uses on x86)
+    Jenkins = 1,  ///< Jenkins one-at-a-time
+    XxMix = 2,    ///< xxhash-style avalanche over 8-byte words
+};
+
+/** Number of distinct HashKind values. */
+inline constexpr unsigned numHashKinds = 3;
+
+/** CRC32c (Castagnoli), bitwise software implementation. */
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed);
+
+/** Jenkins one-at-a-time. */
+std::uint32_t jenkinsOaat(std::span<const std::uint8_t> data,
+                          std::uint32_t seed);
+
+/** xxhash-style word mix. */
+std::uint64_t xxMix(std::span<const std::uint8_t> data,
+                    std::uint64_t seed);
+
+/** Dispatch on HashKind; always returns a 64-bit digest. */
+std::uint64_t hashBytes(HashKind kind, std::uint64_t seed,
+                        std::span<const std::uint8_t> data);
+
+/**
+ * Short signature derived from the primary hash, stored in bucket
+ * entries (paper Fig. 2b).
+ */
+constexpr std::uint32_t
+shortSignature(std::uint64_t hash)
+{
+    std::uint32_t sig = static_cast<std::uint32_t>(hash >> 16) ^
+                        static_cast<std::uint32_t>(hash >> 48);
+    // Zero is reserved as the "empty entry" marker.
+    return sig == 0 ? 1u : sig;
+}
+
+/**
+ * Alternative-bucket derivation used by the cuckoo table, following the
+ * DPDK scheme: the secondary index is computed from the primary index
+ * and the signature so either bucket can recover the other.
+ */
+constexpr std::uint64_t
+alternativeBucket(std::uint64_t primary_bucket, std::uint32_t sig,
+                  std::uint64_t bucket_mask)
+{
+    const std::uint64_t mixed =
+        (static_cast<std::uint64_t>(sig) * 0x5bd1e9955bd1e995ull) >> 17;
+    return (primary_bucket ^ mixed) & bucket_mask;
+}
+
+} // namespace halo
+
+#endif // HALO_HASH_HASH_FN_HH

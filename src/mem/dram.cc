@@ -1,0 +1,45 @@
+#include "mem/dram.hh"
+
+namespace halo {
+
+DramModel::DramModel(const DramConfig &config)
+    : cfg(config),
+      openRow(static_cast<std::size_t>(cfg.channels) *
+                  cfg.banksPerChannel,
+              -1),
+      statGroup("dram"),
+      rowHits(statGroup.counter("row_hits")),
+      rowMisses(statGroup.counter("row_misses")),
+      rowConflicts(statGroup.counter("row_conflicts"))
+{
+}
+
+Cycles
+DramModel::access(Addr addr)
+{
+    // Line-interleave channels, then banks, then rows — the standard
+    // XOR-free open-page mapping.
+    const std::uint64_t line = addr / cacheLineBytes;
+    const std::uint64_t channel = line % cfg.channels;
+    const std::uint64_t bank =
+        (line / cfg.channels) % cfg.banksPerChannel;
+    const std::uint64_t row =
+        addr / (cfg.rowBytes * cfg.channels * cfg.banksPerChannel);
+    auto &open = openRow[channel * cfg.banksPerChannel + bank];
+
+    Cycles latency;
+    if (open == static_cast<std::int64_t>(row)) {
+        ++rowHits;
+        latency = cfg.rowHitCycles;
+    } else if (open < 0) {
+        ++rowMisses;
+        latency = cfg.rowMissCycles;
+    } else {
+        ++rowConflicts;
+        latency = cfg.rowConflictCycles;
+    }
+    open = static_cast<std::int64_t>(row);
+    return latency;
+}
+
+} // namespace halo

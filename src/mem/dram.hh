@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DDR4-2400 latency model (Table 2 of the paper).
+ *
+ * We model per-bank open rows: a row-buffer hit saves the activate
+ * latency, a conflict pays precharge + activate. Latencies are expressed
+ * in 2.1 GHz core cycles.
+ */
+
+#ifndef HALO_MEM_DRAM_HH
+#define HALO_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+/** Configuration of the DRAM latency model. */
+struct DramConfig
+{
+    unsigned channels = 2;
+    unsigned banksPerChannel = 16;
+    std::uint64_t rowBytes = 8192;
+    /// CAS-only access (row-buffer hit), in core cycles.
+    Cycles rowHitCycles = 110;
+    /// Activate + CAS (bank idle / row closed).
+    Cycles rowMissCycles = 160;
+    /// Precharge + activate + CAS (row conflict).
+    Cycles rowConflictCycles = 200;
+};
+
+/**
+ * Per-bank open-row DRAM timing model. Purely analytic: access() returns
+ * the latency of a line fetch and updates the open-row state.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig());
+
+    /** Latency in core cycles of fetching the line containing @p addr. */
+    Cycles access(Addr addr);
+
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+  private:
+    DramConfig cfg;
+    std::vector<std::int64_t> openRow; ///< -1 = closed
+    StatGroup statGroup;
+    Counter &rowHits;
+    Counter &rowMisses;
+    Counter &rowConflicts;
+};
+
+} // namespace halo
+
+#endif // HALO_MEM_DRAM_HH

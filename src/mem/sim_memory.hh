@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Simulated physical memory.
+ *
+ * All functional data structures in the repository (hash tables, EMC,
+ * tuple space, NF state) live inside a SimMemory instance rather than in
+ * host memory. That gives every byte a simulated address, which is what
+ * lets the cache hierarchy, the CHA-side accelerators, and the hardware
+ * lock bits observe exactly the accesses the real system would make.
+ *
+ * Storage is paged and allocated lazily so multi-hundred-megabyte tables
+ * (the 2^24-entry sweep of Figure 9) only consume host memory for pages
+ * actually touched.
+ */
+
+#ifndef HALO_MEM_SIM_MEMORY_HH
+#define HALO_MEM_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+/**
+ * Lazily-paged flat simulated memory with a bump allocator.
+ *
+ * Address 0 is reserved (never allocated) so that 0 can serve as a null
+ * simulated pointer inside stored data structures.
+ */
+class SimMemory
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 1ull << 16;
+
+    /** @param capacity Total simulated bytes addressable (default 4 GiB). */
+    explicit SimMemory(std::uint64_t capacity = 4ull << 30)
+        : capacityBytes(capacity),
+          pages((capacity + pageBytes - 1) / pageBytes)
+    {
+        // Reserve the first line so address 0 stays an invalid pointer.
+        brk = cacheLineBytes;
+    }
+
+    /** Total simulated capacity in bytes. */
+    std::uint64_t capacity() const { return capacityBytes; }
+
+    /** Bytes handed out by the allocator so far. */
+    std::uint64_t allocated() const { return brk; }
+
+    /**
+     * Allocate @p bytes of simulated memory.
+     * @param align Required alignment (power of two).
+     * @return base address of the block.
+     */
+    Addr
+    allocate(std::uint64_t bytes, std::uint64_t align = cacheLineBytes)
+    {
+        HALO_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
+        Addr base = (brk + align - 1) & ~(align - 1);
+        if (base + bytes > capacityBytes)
+            fatal("SimMemory exhausted: need ", bytes, "B at ", base,
+                  " of ", capacityBytes);
+        brk = base + bytes;
+        return base;
+    }
+
+    /** Copy @p len bytes out of simulated memory. */
+    void
+    read(Addr addr, void *dst, std::uint64_t len) const
+    {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        while (len > 0) {
+            const std::uint64_t page = addr / pageBytes;
+            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t chunk = std::min(len, pageBytes - off);
+            const std::uint8_t *src = pagePtrConst(page);
+            if (src)
+                std::memcpy(out, src + off, chunk);
+            else
+                std::memset(out, 0, chunk);
+            out += chunk;
+            addr += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Copy @p len bytes into simulated memory. */
+    void
+    write(Addr addr, const void *src, std::uint64_t len)
+    {
+        auto *in = static_cast<const std::uint8_t *>(src);
+        while (len > 0) {
+            const std::uint64_t page = addr / pageBytes;
+            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t chunk = std::min(len, pageBytes - off);
+            std::memcpy(pagePtr(page) + off, in, chunk);
+            in += chunk;
+            addr += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Typed scalar load. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed scalar store. */
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Zero a range. */
+    void
+    zero(Addr addr, std::uint64_t len)
+    {
+        while (len > 0) {
+            const std::uint64_t page = addr / pageBytes;
+            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t chunk = std::min(len, pageBytes - off);
+            // Untouched pages are already zero; only clear materialized
+            // ones.
+            if (pages[page])
+                std::memset(pages[page].get() + off, 0, chunk);
+            addr += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Compare a simulated range with a host buffer. */
+    bool
+    equals(Addr addr, const void *host, std::uint64_t len) const
+    {
+        const auto *h = static_cast<const std::uint8_t *>(host);
+        std::uint8_t buf[256];
+        while (len > 0) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(len, sizeof(buf));
+            read(addr, buf, chunk);
+            if (std::memcmp(buf, h, chunk) != 0)
+                return false;
+            addr += chunk;
+            h += chunk;
+            len -= chunk;
+        }
+        return true;
+    }
+
+    /** Number of host pages actually materialized (for tests). */
+    std::size_t
+    materializedPages() const
+    {
+        std::size_t n = 0;
+        for (const auto &p : pages)
+            if (p)
+                ++n;
+        return n;
+    }
+
+  private:
+    std::uint8_t *
+    pagePtr(std::uint64_t page)
+    {
+        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
+        if (!pages[page]) {
+            pages[page] = std::make_unique<std::uint8_t[]>(pageBytes);
+            std::memset(pages[page].get(), 0, pageBytes);
+        }
+        return pages[page].get();
+    }
+
+    const std::uint8_t *
+    pagePtrConst(std::uint64_t page) const
+    {
+        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
+        return pages[page].get();
+    }
+
+    std::uint64_t capacityBytes;
+    std::vector<std::unique_ptr<std::uint8_t[]>> pages;
+    Addr brk = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_MEM_SIM_MEMORY_HH

@@ -1,0 +1,194 @@
+#include "net/headers.hh"
+
+#include <bit>
+
+namespace halo {
+
+namespace {
+
+void
+put16(std::uint8_t *out, std::uint16_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v >> 8);
+    out[1] = static_cast<std::uint8_t>(v);
+}
+
+void
+put32(std::uint8_t *out, std::uint32_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v >> 24);
+    out[1] = static_cast<std::uint8_t>(v >> 16);
+    out[2] = static_cast<std::uint8_t>(v >> 8);
+    out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t
+get16(const std::uint8_t *in)
+{
+    return static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+}
+
+std::uint32_t
+get32(const std::uint8_t *in)
+{
+    return (static_cast<std::uint32_t>(in[0]) << 24) |
+           (static_cast<std::uint32_t>(in[1]) << 16) |
+           (static_cast<std::uint32_t>(in[2]) << 8) |
+           static_cast<std::uint32_t>(in[3]);
+}
+
+} // namespace
+
+void
+EthernetHeader::serialize(std::uint8_t *out) const
+{
+    std::memcpy(out, dstMac.data(), 6);
+    std::memcpy(out + 6, srcMac.data(), 6);
+    put16(out + 12, etherType);
+}
+
+EthernetHeader
+EthernetHeader::parse(const std::uint8_t *in)
+{
+    EthernetHeader h;
+    std::memcpy(h.dstMac.data(), in, 6);
+    std::memcpy(h.srcMac.data(), in + 6, 6);
+    h.etherType = get16(in + 12);
+    return h;
+}
+
+std::uint16_t
+Ipv4Header::checksum(const std::uint8_t *hdr, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i + 1 < len; i += 2)
+        sum += get16(hdr + i);
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+void
+Ipv4Header::serialize(std::uint8_t *out) const
+{
+    out[0] = 0x45; // version 4, IHL 5
+    out[1] = tos;
+    put16(out + 2, totalLength);
+    put16(out + 4, identification);
+    put16(out + 6, 0); // flags/fragment
+    out[8] = ttl;
+    out[9] = protocol;
+    put16(out + 10, 0); // checksum placeholder
+    put32(out + 12, srcIp);
+    put32(out + 16, dstIp);
+    put16(out + 10, checksum(out, wireBytes));
+}
+
+Ipv4Header
+Ipv4Header::parse(const std::uint8_t *in)
+{
+    Ipv4Header h;
+    h.tos = in[1];
+    h.totalLength = get16(in + 2);
+    h.identification = get16(in + 4);
+    h.ttl = in[8];
+    h.protocol = in[9];
+    h.srcIp = get32(in + 12);
+    h.dstIp = get32(in + 16);
+    return h;
+}
+
+void
+UdpHeader::serialize(std::uint8_t *out) const
+{
+    put16(out, srcPort);
+    put16(out + 2, dstPort);
+    put16(out + 4, length);
+    put16(out + 6, 0); // checksum optional for IPv4
+}
+
+UdpHeader
+UdpHeader::parse(const std::uint8_t *in)
+{
+    UdpHeader h;
+    h.srcPort = get16(in);
+    h.dstPort = get16(in + 2);
+    h.length = get16(in + 4);
+    return h;
+}
+
+void
+TcpHeader::serialize(std::uint8_t *out) const
+{
+    put16(out, srcPort);
+    put16(out + 2, dstPort);
+    put32(out + 4, seq);
+    put32(out + 8, ack);
+    out[12] = 0x50; // data offset 5
+    out[13] = flags;
+    put16(out + 14, window);
+    put16(out + 16, 0); // checksum
+    put16(out + 18, 0); // urgent
+}
+
+TcpHeader
+TcpHeader::parse(const std::uint8_t *in)
+{
+    TcpHeader h;
+    h.srcPort = get16(in);
+    h.dstPort = get16(in + 2);
+    h.seq = get32(in + 4);
+    h.ack = get32(in + 8);
+    h.flags = in[13];
+    h.window = get16(in + 14);
+    return h;
+}
+
+FlowMask
+FlowMask::exact()
+{
+    FlowMask m;
+    m.bytes.fill(0xff);
+    // Padding bytes are never part of the key.
+    m.bytes[13] = m.bytes[14] = m.bytes[15] = 0;
+    return m;
+}
+
+FlowMask
+FlowMask::fields(unsigned src_prefix, unsigned dst_prefix, bool src_port,
+                 bool dst_port, bool proto)
+{
+    FlowMask m;
+    auto prefixMask = [](std::uint8_t *out, unsigned bits) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const unsigned have = bits > i * 8 ? bits - i * 8 : 0;
+            if (have >= 8)
+                out[i] = 0xff;
+            else if (have > 0)
+                out[i] = static_cast<std::uint8_t>(0xff00 >> have);
+            else
+                out[i] = 0;
+        }
+    };
+    prefixMask(m.bytes.data() + 0, std::min(src_prefix, 32u));
+    prefixMask(m.bytes.data() + 4, std::min(dst_prefix, 32u));
+    if (src_port)
+        m.bytes[8] = m.bytes[9] = 0xff;
+    if (dst_port)
+        m.bytes[10] = m.bytes[11] = 0xff;
+    if (proto)
+        m.bytes[12] = 0xff;
+    return m;
+}
+
+unsigned
+FlowMask::wildcardBits() const
+{
+    unsigned zeros = 0;
+    // Only the 13 meaningful key bytes count.
+    for (std::size_t i = 0; i < 13; ++i)
+        zeros += 8 - std::popcount(bytes[i]);
+    return zeros;
+}
+
+} // namespace halo

@@ -1,0 +1,86 @@
+#include "net/packet.hh"
+
+namespace halo {
+
+Packet
+Packet::fromTuple(const FiveTuple &tuple, std::size_t payload)
+{
+    Packet pkt;
+    const bool is_tcp =
+        tuple.proto == static_cast<std::uint8_t>(IpProto::Tcp);
+    const std::size_t l4 = is_tcp ? TcpHeader::wireBytes
+                                  : UdpHeader::wireBytes;
+    const std::size_t total =
+        EthernetHeader::wireBytes + Ipv4Header::wireBytes + l4 + payload;
+    pkt.buffer.assign(std::max<std::size_t>(total, 60), 0);
+
+    EthernetHeader eth;
+    eth.srcMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+    eth.dstMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+    eth.serialize(pkt.buffer.data());
+
+    Ipv4Header ip;
+    ip.protocol = tuple.proto;
+    ip.srcIp = tuple.srcIp;
+    ip.dstIp = tuple.dstIp;
+    ip.totalLength =
+        static_cast<std::uint16_t>(Ipv4Header::wireBytes + l4 + payload);
+    ip.serialize(pkt.buffer.data() + EthernetHeader::wireBytes);
+
+    std::uint8_t *l4_base = pkt.buffer.data() + EthernetHeader::wireBytes +
+                            Ipv4Header::wireBytes;
+    if (is_tcp) {
+        TcpHeader tcp;
+        tcp.srcPort = tuple.srcPort;
+        tcp.dstPort = tuple.dstPort;
+        tcp.serialize(l4_base);
+    } else {
+        UdpHeader udp;
+        udp.srcPort = tuple.srcPort;
+        udp.dstPort = tuple.dstPort;
+        udp.length = static_cast<std::uint16_t>(UdpHeader::wireBytes +
+                                                payload);
+        udp.serialize(l4_base);
+    }
+    return pkt;
+}
+
+std::optional<ParsedHeaders>
+Packet::parseHeaders() const
+{
+    if (buffer.size() <
+        EthernetHeader::wireBytes + Ipv4Header::wireBytes) {
+        return std::nullopt;
+    }
+
+    ParsedHeaders parsed;
+    parsed.eth = EthernetHeader::parse(buffer.data());
+    if (parsed.eth.etherType != 0x0800)
+        return std::nullopt; // only IPv4 traffic is classified
+
+    parsed.ip =
+        Ipv4Header::parse(buffer.data() + EthernetHeader::wireBytes);
+    const std::uint8_t *l4_base = buffer.data() +
+                                  EthernetHeader::wireBytes +
+                                  Ipv4Header::wireBytes;
+    const std::size_t l4_avail =
+        buffer.size() - EthernetHeader::wireBytes - Ipv4Header::wireBytes;
+
+    if (parsed.ip.protocol == static_cast<std::uint8_t>(IpProto::Tcp) &&
+        l4_avail >= TcpHeader::wireBytes) {
+        const TcpHeader tcp = TcpHeader::parse(l4_base);
+        parsed.srcPort = tcp.srcPort;
+        parsed.dstPort = tcp.dstPort;
+        parsed.l4Valid = true;
+    } else if (parsed.ip.protocol ==
+                   static_cast<std::uint8_t>(IpProto::Udp) &&
+               l4_avail >= UdpHeader::wireBytes) {
+        const UdpHeader udp = UdpHeader::parse(l4_base);
+        parsed.srcPort = udp.srcPort;
+        parsed.dstPort = udp.dstPort;
+        parsed.l4Valid = true;
+    }
+    return parsed;
+}
+
+} // namespace halo

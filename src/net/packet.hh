@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Packet representation and header extraction.
+ *
+ * A Packet owns a real wire-format byte buffer. parseHeaders() is the
+ * functional half of the switch's "packet pre-processing" stage; the
+ * vswitch library charges its trace-calibrated instruction cost.
+ */
+
+#ifndef HALO_NET_PACKET_HH
+#define HALO_NET_PACKET_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/headers.hh"
+
+namespace halo {
+
+/** Parsed view of a packet's classification-relevant headers. */
+struct ParsedHeaders
+{
+    EthernetHeader eth;
+    Ipv4Header ip;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    bool l4Valid = false;
+
+    /** The classification five-tuple. */
+    FiveTuple
+    tuple() const
+    {
+        FiveTuple t;
+        t.srcIp = ip.srcIp;
+        t.dstIp = ip.dstIp;
+        t.srcPort = srcPort;
+        t.dstPort = dstPort;
+        t.proto = ip.protocol;
+        return t;
+    }
+};
+
+/** A network packet with a wire-format buffer. */
+class Packet
+{
+  public:
+    Packet() = default;
+
+    /** Build a minimal UDP or TCP packet for @p tuple with @p payload
+     *  bytes of zeros (64-byte minimum frame, like the IXIA workloads). */
+    static Packet fromTuple(const FiveTuple &tuple,
+                            std::size_t payload = 18);
+
+    /** Wire bytes. */
+    const std::vector<std::uint8_t> &bytes() const { return buffer; }
+    std::vector<std::uint8_t> &bytes() { return buffer; }
+
+    /** Extract headers; nullopt for runts / non-IPv4. */
+    std::optional<ParsedHeaders> parseHeaders() const;
+
+  private:
+    std::vector<std::uint8_t> buffer;
+};
+
+} // namespace halo
+
+#endif // HALO_NET_PACKET_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic traffic generation (the IXIA substitute).
+ *
+ * Reproduces the three data-center scenario families of paper SS3.2:
+ *
+ *   - SmallFlowCount  : overlay traffic, <100K encapsulated flows;
+ *   - ManyFlows       : 100K-1M flows steered to a few containers
+ *                       (1-10 rules);
+ *   - ManyFlowsHotRules: gateway/ToR traffic, 100K-1M flows against
+ *                       ~20 hot rules.
+ *
+ * Flow popularity is uniform or Zipf-skewed; generation is fully
+ * deterministic under a seed.
+ */
+
+#ifndef HALO_NET_TRAFFIC_GEN_HH
+#define HALO_NET_TRAFFIC_GEN_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/random.hh"
+
+namespace halo {
+
+/** Canned scenario families from paper SS3.2. */
+enum class TrafficScenario
+{
+    SmallFlowCount,
+    ManyFlows,
+    ManyFlowsHotRules,
+};
+
+/** Generator configuration. */
+struct TrafficConfig
+{
+    std::uint64_t numFlows = 10000;
+    /// 0 = uniform flow popularity; >0 = Zipf skew over flows.
+    double zipfSkew = 0.0;
+    double tcpFraction = 0.5;
+    std::uint64_t seed = 0xbeefcafe;
+};
+
+/**
+ * Deterministic flow/packet stream generator.
+ */
+class TrafficGenerator
+{
+  public:
+    explicit TrafficGenerator(const TrafficConfig &config);
+
+    /** Canned configuration for a scenario at @p flows flows. */
+    static TrafficConfig scenarioConfig(TrafficScenario scenario,
+                                        std::uint64_t flows);
+
+    /** All distinct flows in the population. */
+    const std::vector<FiveTuple> &flows() const { return flowTable; }
+
+    /** Draw the next flow according to the popularity model. */
+    const FiveTuple &nextTuple();
+
+    /** Draw the next flow and materialize a full wire packet. */
+    Packet nextPacket();
+
+    /** Packets drawn so far. */
+    std::uint64_t generated() const { return count; }
+
+  private:
+    TrafficConfig cfg;
+    Xoshiro256 rng;
+    std::vector<FiveTuple> flowTable;
+    std::optional<ZipfDistribution> zipf;
+    std::uint64_t count = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_NET_TRAFFIC_GEN_HH

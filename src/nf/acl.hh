@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Access-control list with a multi-bit trie classifier, modeled after
+ * the DPDK ACL library (paper Table 3, used in the Fig. 12 co-location
+ * study).
+ *
+ * Rules carry a destination-IP prefix plus exact port/protocol
+ * qualifiers. The build step compiles the prefixes into a 4-bit-stride
+ * trie in simulated memory; matching walks up to 8 trie levels of
+ * dependent loads and then qualifies the best candidate rule — the
+ * pointer-chasing, compute-heavy profile that makes ACL sensitive to
+ * L1 pollution from a co-located switch.
+ */
+
+#ifndef HALO_NF_ACL_HH
+#define HALO_NF_ACL_HH
+
+#include <optional>
+#include <vector>
+
+#include "nf/network_function.hh"
+
+namespace halo {
+
+/** One ACL rule. */
+struct AclRule
+{
+    std::uint32_t dstPrefix = 0;
+    unsigned prefixLen = 24; ///< bits of dstPrefix that must match
+    std::uint16_t dstPort = 0;
+    bool anyPort = true;
+    std::uint8_t proto = 0;
+    bool anyProto = true;
+    bool permit = true;
+    std::uint16_t priority = 0;
+};
+
+/** Trie-based ACL NF. */
+class AclFunction : public NetworkFunction
+{
+  public:
+    AclFunction(SimMemory &memory, MemoryHierarchy &hierarchy);
+
+    /** Add a rule (call before build()). */
+    void addRule(const AclRule &rule);
+
+    /** Install @p n random rules derived from @p flows plus a default
+     *  route (the paper's "6 rules and 1 route" config). */
+    void populateFrom(const std::vector<FiveTuple> &flows, unsigned n,
+                      std::uint64_t seed);
+
+    /** Compile rules into the trie. */
+    void build();
+
+    void process(const ParsedHeaders &headers, const Packet &packet,
+                 OpTrace &ops) override;
+
+    std::uint64_t footprintBytes() const override;
+    void warm() override;
+
+    std::uint64_t permits() const { return permitted; }
+    std::uint64_t denies() const { return denied; }
+
+    /** Pure functional match (tests). */
+    std::optional<AclRule> match(const FiveTuple &tuple) const;
+
+  private:
+    static constexpr unsigned strideBits = 4;
+    static constexpr unsigned fanout = 1u << strideBits;
+    static constexpr unsigned levels = 32 / strideBits;
+    /// Node: fanout u32 children + u32 ruleId(+1) + pad -> 2 lines.
+    static constexpr std::uint64_t nodeBytes = 128;
+
+    std::uint32_t allocNode();
+    Addr nodeAddr(std::uint32_t idx) const
+    {
+        return trieBase + static_cast<std::uint64_t>(idx) * nodeBytes;
+    }
+
+    std::vector<AclRule> rules;
+    Addr trieBase = invalidAddr;
+    Addr ruleArray = invalidAddr;
+    std::uint32_t nodeCount = 0;
+    std::uint32_t nodeCapacity = 0;
+    bool built = false;
+    std::uint64_t permitted = 0;
+    std::uint64_t denied = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_NF_ACL_HH

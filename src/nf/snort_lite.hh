@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Signature-scanning intrusion detection (Snort; paper Table 3,
+ * Fig. 12).
+ *
+ * Payload bytes stream through an Aho-Corasick automaton built over a
+ * pattern set. The automaton uses a 4-bit (nibble) alphabet so each
+ * payload byte costs two dependent state-table loads — a compute- and
+ * L1-intensive profile representative of content inspection.
+ */
+
+#ifndef HALO_NF_SNORT_LITE_HH
+#define HALO_NF_SNORT_LITE_HH
+
+#include <string>
+#include <vector>
+
+#include "nf/network_function.hh"
+
+namespace halo {
+
+/** Aho-Corasick content scanner. */
+class SnortLite : public NetworkFunction
+{
+  public:
+    SnortLite(SimMemory &memory, MemoryHierarchy &hierarchy);
+
+    /** Add a pattern (call before build()). */
+    void addPattern(const std::string &pattern);
+
+    /** Install a default rule set of common exploit strings. */
+    void addDefaultPatterns();
+
+    /** Compile the automaton (goto + failure functions). */
+    void build();
+
+    void process(const ParsedHeaders &headers, const Packet &packet,
+                 OpTrace &ops) override;
+
+    std::uint64_t footprintBytes() const override;
+    void warm() override;
+
+    std::uint64_t alerts() const { return alertCount; }
+    unsigned states() const { return numStates; }
+
+    /** Pure functional scan (tests): number of pattern hits in data. */
+    unsigned scan(std::span<const std::uint8_t> data) const;
+
+  private:
+    static constexpr unsigned fanout = 16; ///< nibble alphabet
+    /// State record: 16 x u32 transitions + u32 matchCount = 68 -> 128B.
+    static constexpr std::uint64_t stateBytes = 128;
+
+    Addr stateAddr(std::uint32_t s) const
+    {
+        return automatonBase + static_cast<std::uint64_t>(s) * stateBytes;
+    }
+
+    std::vector<std::string> patterns;
+    Addr automatonBase = invalidAddr;
+    std::uint32_t numStates = 0;
+    bool built = false;
+    std::uint64_t alertCount = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_NF_SNORT_LITE_HH

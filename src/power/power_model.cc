@@ -1,0 +1,112 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+/** Piecewise log-log interpolation through calibration points; linear
+ *  extrapolation in log space beyond the ends. */
+double
+interpLogLog(const std::vector<TcamCalibrationPoint> &pts,
+             std::uint64_t capacity, double (*get)(const PowerArea &))
+{
+    HALO_ASSERT(pts.size() >= 2);
+    const double x = std::log(static_cast<double>(capacity));
+    std::size_t hi = 1;
+    while (hi + 1 < pts.size() &&
+           static_cast<double>(pts[hi].capacityBytes) <
+               static_cast<double>(capacity)) {
+        ++hi;
+    }
+    const std::size_t lo = hi - 1;
+    const double x0 = std::log(static_cast<double>(pts[lo].capacityBytes));
+    const double x1 = std::log(static_cast<double>(pts[hi].capacityBytes));
+    const double y0 = std::log(get(pts[lo].figures));
+    const double y1 = std::log(get(pts[hi].figures));
+    const double t = (x - x0) / (x1 - x0);
+    return std::exp(y0 + t * (y1 - y0));
+}
+
+} // namespace
+
+const std::vector<TcamCalibrationPoint> &
+tcamCalibration()
+{
+    // Paper Table 4.
+    static const std::vector<TcamCalibrationPoint> points = {
+        {1ull << 10, {0.001, 71.1, 0.04}},
+        {10ull << 10, {0.066, 235.3, 0.37}},
+        {100ull << 10, {1.044, 3850.5, 13.84}},
+        {1ull << 20, {9.343, 26733.1, 84.82}},
+    };
+    return points;
+}
+
+PowerArea
+tcamPowerArea(std::uint64_t capacity_bytes)
+{
+    HALO_ASSERT(capacity_bytes >= 64, "TCAM capacity too small to model");
+    const auto &pts = tcamCalibration();
+    PowerArea pa;
+    pa.areaTiles = interpLogLog(
+        pts, capacity_bytes,
+        [](const PowerArea &p) { return p.areaTiles; });
+    pa.staticMw = interpLogLog(
+        pts, capacity_bytes,
+        [](const PowerArea &p) { return p.staticMw; });
+    pa.dynamicNjPerQuery = interpLogLog(
+        pts, capacity_bytes,
+        [](const PowerArea &p) { return p.dynamicNjPerQuery; });
+    return pa;
+}
+
+PowerArea
+sramTcamPowerArea(std::uint64_t capacity_bytes)
+{
+    // Paper SS6.4: "typically consumes 45% less power, and 57% less
+    // area cost" than an equal-capacity TCAM.
+    PowerArea pa = tcamPowerArea(capacity_bytes);
+    pa.areaTiles *= 1.0 - 0.57;
+    pa.staticMw *= 1.0 - 0.45;
+    pa.dynamicNjPerQuery *= 1.0 - 0.45;
+    return pa;
+}
+
+PowerArea
+haloAcceleratorPowerArea()
+{
+    // Paper Table 4 / SS6.4: per-accelerator constants.
+    return PowerArea{0.012, 97.2, 1.76};
+}
+
+PowerArea
+haloComplexPowerArea(unsigned accelerators)
+{
+    PowerArea one = haloAcceleratorPowerArea();
+    return PowerArea{one.areaTiles * accelerators,
+                     one.staticMw * accelerators,
+                     one.dynamicNjPerQuery};
+}
+
+double
+energyPerQueryNj(const PowerArea &device, double queries_per_sec)
+{
+    HALO_ASSERT(queries_per_sec > 0);
+    // staticMw [1e-3 J/s] / qps [1/s] = 1e-3 J/query = 1e6 nJ/query.
+    const double leakage_nj = device.staticMw * 1.0e6 / queries_per_sec;
+    return device.dynamicNjPerQuery + leakage_nj;
+}
+
+double
+dynamicEfficiencyRatio(const PowerArea &baseline,
+                       const PowerArea &candidate)
+{
+    HALO_ASSERT(candidate.dynamicNjPerQuery > 0);
+    return baseline.dynamicNjPerQuery / candidate.dynamicNjPerQuery;
+}
+
+} // namespace halo

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Power and area models for the hardware flow-classification options
+ * (paper SS6.4, Table 4).
+ *
+ * The TCAM curve is a piecewise power-law interpolation through the
+ * paper's four published calibration points (1 KB .. 1 MB), which were
+ * themselves produced with McPAT/CACTI; the SRAM-TCAM variant applies
+ * the paper's reported deltas (~45% less power, ~57% less area); HALO's
+ * per-accelerator numbers are the paper's constants.
+ */
+
+#ifndef HALO_POWER_POWER_MODEL_HH
+#define HALO_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/** Power/area figure of merit for one device. */
+struct PowerArea
+{
+    double areaTiles = 0.0;        ///< fraction of one CPU tile
+    double staticMw = 0.0;         ///< leakage, milliwatts
+    double dynamicNjPerQuery = 0.0;///< energy per lookup, nanojoules
+};
+
+/** TCAM of @p capacity_bytes ternary storage. */
+PowerArea tcamPowerArea(std::uint64_t capacity_bytes);
+
+/** SRAM-based TCAM of the same capacity. */
+PowerArea sramTcamPowerArea(std::uint64_t capacity_bytes);
+
+/** One HALO accelerator (constants from Table 4). */
+PowerArea haloAcceleratorPowerArea();
+
+/** A full HALO complex of @p accelerators accelerators. */
+PowerArea haloComplexPowerArea(unsigned accelerators);
+
+/**
+ * Energy per query in nanojoules for a device running @p queries
+ * lookups over @p seconds seconds: dynamic energy plus its share of
+ * leakage.
+ */
+double energyPerQueryNj(const PowerArea &device, double queries_per_sec);
+
+/**
+ * Energy-efficiency ratio of @p baseline over @p candidate at equal
+ * query rate (the paper's "48.2x more energy-efficient" headline
+ * compares HALO to the 1 MB TCAM on dynamic energy).
+ */
+double dynamicEfficiencyRatio(const PowerArea &baseline,
+                              const PowerArea &candidate);
+
+/** The Table-4 calibration points (exposed for tests/benches). */
+struct TcamCalibrationPoint
+{
+    std::uint64_t capacityBytes;
+    PowerArea figures;
+};
+const std::vector<TcamCalibrationPoint> &tcamCalibration();
+
+} // namespace halo
+
+#endif // HALO_POWER_POWER_MODEL_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The memory-system fast path uses analytic resource-reservation timing
+ * (see mem/), but stateful components that need callbacks at future
+ * cycles — the flow-register scan window, DRAM refresh in tests, traffic
+ * arrival processes — schedule events here.
+ */
+
+#ifndef HALO_SIM_EVENT_QUEUE_HH
+#define HALO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same cycle
+ * fire in scheduling order (FIFO), matching gem5's same-tick semantics.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Cycles now() const { return currentCycle; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute cycle @p when.
+     * Scheduling in the past is a simulator bug.
+     * @return a ticket usable with cancel().
+     */
+    std::uint64_t
+    schedule(Cycles when, Callback cb)
+    {
+        HALO_ASSERT(when >= currentCycle, "event scheduled in the past");
+        const std::uint64_t ticket = nextTicket++;
+        heap.push(Entry{when, ticket, std::move(cb), false});
+        return ticket;
+    }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    std::uint64_t
+    scheduleIn(Cycles delay, Callback cb)
+    {
+        return schedule(currentCycle + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired or
+     * unknown ticket is a no-op (returns false).
+     */
+    bool
+    cancel(std::uint64_t ticket)
+    {
+        // Lazy cancellation: mark and skip at pop time.
+        cancelled.push_back(ticket);
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit cycles elapse.
+     * @return the cycle of the last executed event.
+     */
+    Cycles
+    run(Cycles limit = foreverCycles)
+    {
+        while (!heap.empty()) {
+            Entry top = heap.top();
+            if (top.when > limit)
+                break;
+            heap.pop();
+            if (isCancelled(top.ticket))
+                continue;
+            HALO_ASSERT(top.when >= currentCycle, "time went backwards");
+            currentCycle = top.when;
+            top.cb();
+        }
+        return currentCycle;
+    }
+
+    /** Execute exactly one event if any is pending within @p limit. */
+    bool
+    step(Cycles limit = foreverCycles)
+    {
+        while (!heap.empty()) {
+            Entry top = heap.top();
+            if (top.when > limit)
+                return false;
+            heap.pop();
+            if (isCancelled(top.ticket))
+                continue;
+            currentCycle = top.when;
+            top.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** Advance the clock without executing anything (idle time). */
+    void
+    advanceTo(Cycles when)
+    {
+        HALO_ASSERT(when >= currentCycle, "cannot rewind simulated time");
+        currentCycle = when;
+    }
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t ticket;
+        Callback cb;
+        bool dead;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return ticket > other.ticket;
+        }
+    };
+
+    bool
+    isCancelled(std::uint64_t ticket)
+    {
+        for (auto it = cancelled.begin(); it != cancelled.end(); ++it) {
+            if (*it == ticket) {
+                cancelled.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<std::uint64_t> cancelled;
+    Cycles currentCycle = 0;
+    std::uint64_t nextTicket = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_EVENT_QUEUE_HH

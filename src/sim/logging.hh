@@ -1,0 +1,109 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  — an internal invariant of the simulator was violated (a bug).
+ * fatal()  — the user asked for something the simulator cannot do.
+ * warn()   — something is questionable but simulation continues.
+ * inform() — purely informative status output.
+ */
+
+#ifndef HALO_SIM_LOGGING_HH
+#define HALO_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace halo {
+
+/** Exception thrown by panic(); a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+/** Exception thrown by fatal(); a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a simulator bug and abort the current simulation by throwing.
+ * Use for conditions that must never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/**
+ * Report an unrecoverable user/configuration error by throwing.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/** Report a suspicious but non-fatal condition to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fputs(detail::concat("warn: ", args..., "\n").c_str(), stderr);
+}
+
+/** Report normal status to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fputs(detail::concat("info: ", args..., "\n").c_str(), stderr);
+}
+
+/** panic() unless @p cond holds. */
+#define HALO_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::halo::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                          ":", __LINE__, " ", ##__VA_ARGS__);                \
+    } while (0)
+
+} // namespace halo
+
+#endif // HALO_SIM_LOGGING_HH

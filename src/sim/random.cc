@@ -1,0 +1,34 @@
+#include "sim/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace halo {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew)
+{
+    HALO_ASSERT(n > 0, "Zipf population must be nonzero");
+    cdf.resize(n);
+    double accum = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        accum += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+        cdf[rank] = accum;
+    }
+    const double total = accum;
+    for (auto &v : cdf)
+        v /= total;
+    // Guard against floating point drift at the top of the table.
+    cdf.back() = 1.0;
+}
+
+std::size_t
+ZipfDistribution::sample(Xoshiro256 &rng) const
+{
+    const double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return cdf.size() - 1;
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+} // namespace halo

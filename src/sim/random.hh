@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Every experiment in the repository is seeded explicitly so that the
+ * benchmark harnesses regenerate identical tables and figures run-to-run.
+ */
+
+#ifndef HALO_SIM_RANDOM_HH
+#define HALO_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+/**
+ * SplitMix64 generator; also used to seed Xoshiro256.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** — fast, high-quality generator used by all workload
+ * generators in the repository.
+ */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : state)
+            word = sm.next();
+    }
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        HALO_ASSERT(bound != 0);
+        // Lemire's nearly-divisionless bounded generation.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n).
+ *
+ * Used to model hot flows in data-center traffic (paper §3.2, "20 hot
+ * rules"). Implemented with an inverse-CDF table, so sampling is O(log n).
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n     Population size.
+     * @param skew  Zipf exponent s (0 = uniform; ~0.99 typical for traffic).
+     */
+    ZipfDistribution(std::size_t n, double skew);
+
+    /** Draw one rank in [0, n). Lower ranks are hotter. */
+    std::size_t sample(Xoshiro256 &rng) const;
+
+    /** Population size. */
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_RANDOM_HH

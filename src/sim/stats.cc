@@ -1,0 +1,22 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace halo {
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : averages_) {
+        os << name_ << '.' << kv.first << ".mean " << kv.second.mean()
+           << '\n';
+        os << name_ << '.' << kv.first << ".samples "
+           << kv.second.samples() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace halo

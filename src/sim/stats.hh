@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of the gem5 Stats package.
+ *
+ * Components register named statistics inside a StatGroup; benches and
+ * tests read them back by name or via typed references. Everything is
+ * header-light and allocation-cheap because stats are bumped on the
+ * simulator fast path (every cache access).
+ */
+
+#ifndef HALO_SIM_STATS_HH
+#define HALO_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++count; }
+    void operator++(int) { ++count; }
+    void operator+=(std::uint64_t n) { count += n; }
+    std::uint64_t value() const { return count; }
+    void reset() { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (v < minV || n == 1)
+            minV = v;
+        if (v > maxV || n == 1)
+            maxV = v;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? minV : 0.0; }
+    double max() const { return n ? maxV : 0.0; }
+    std::uint64_t samples() const { return n; }
+    double total() const { return sum; }
+
+    void
+    reset()
+    {
+        sum = 0;
+        n = 0;
+        minV = 0;
+        maxV = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+
+    Histogram(double lo, double hi, unsigned buckets)
+        : low(lo), high(hi), counts(buckets, 0)
+    {
+        HALO_ASSERT(buckets > 0 && hi > lo);
+    }
+
+    void
+    sample(double v)
+    {
+        ++total_;
+        if (v < low) {
+            ++underflow_;
+            return;
+        }
+        if (v >= high) {
+            ++overflow_;
+            return;
+        }
+        const double frac = (v - low) / (high - low);
+        auto idx = static_cast<std::size_t>(frac * counts.size());
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double low;
+    double high;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics owned by a simulated component.
+ *
+ * Unlike gem5 we keep ownership in the group itself (components hold
+ * references), which keeps reset/dump logic in one place.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name) : name_(std::move(group_name))
+    {
+    }
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register (or fetch) a counter called @p stat_name. */
+    Counter &
+    counter(const std::string &stat_name)
+    {
+        return counters_[stat_name];
+    }
+
+    /** Register (or fetch) a running average called @p stat_name. */
+    Average &
+    average(const std::string &stat_name)
+    {
+        return averages_[stat_name];
+    }
+
+    /** Read a counter; panics if it was never registered. */
+    std::uint64_t
+    counterValue(const std::string &stat_name) const
+    {
+        auto it = counters_.find(stat_name);
+        HALO_ASSERT(it != counters_.end(), "no counter ", stat_name);
+        return it->second.value();
+    }
+
+    /** True when a counter with this name exists. */
+    bool
+    hasCounter(const std::string &stat_name) const
+    {
+        return counters_.count(stat_name) != 0;
+    }
+
+    /** Reset every statistic in the group. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : averages_)
+            kv.second.reset();
+    }
+
+    /** Render all stats as "group.stat value" lines. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_STATS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every HALO simulation library.
+ *
+ * The simulator follows the gem5 convention of expressing simulated time
+ * in integral cycle counts and physical locations as 64-bit addresses.
+ */
+
+#ifndef HALO_SIM_TYPES_HH
+#define HALO_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace halo {
+
+/** Simulated physical/virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulated time expressed in CPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a CPU core in the simulated socket. */
+using CoreId = std::uint32_t;
+
+/** Identifier of an LLC slice / CHA in the simulated socket. */
+using SliceId = std::uint32_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / unbounded time. */
+inline constexpr Cycles foreverCycles = std::numeric_limits<Cycles>::max();
+
+/** Size of one cache line in bytes; buckets align with this (paper §2.2). */
+inline constexpr unsigned cacheLineBytes = 64;
+
+/** Mask an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(cacheLineBytes - 1);
+}
+
+/** True when @p addr is the first byte of a cache line. */
+constexpr bool
+isLineAligned(Addr addr)
+{
+    return (addr & (cacheLineBytes - 1)) == 0;
+}
+
+/** Integer ceiling division used throughout the timing models. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True when @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Smallest power of two >= v (v must be <= 2^63). */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t v)
+{
+    if (v <= 1)
+        return 1;
+    --v;
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v |= v >> 32;
+    return v + 1;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace halo
+
+#endif // HALO_SIM_TYPES_HH

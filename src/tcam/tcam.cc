@@ -1,0 +1,76 @@
+#include "tcam/tcam.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+TcamModel::TcamModel(const TcamConfig &config) : cfg(config)
+{
+    HALO_ASSERT(cfg.capacityBytes >= bytesPerEntry,
+                "TCAM smaller than one entry");
+}
+
+bool
+TcamModel::addRule(const FlowRule &rule)
+{
+    if (size() >= capacityEntries())
+        return false;
+    // Keep descending priority order; management software shifts every
+    // lower-priority entry down (the costly TCAM update).
+    auto pos = std::upper_bound(
+        rules.begin(), rules.end(), rule,
+        [](const FlowRule &a, const FlowRule &b) {
+            return a.priority > b.priority;
+        });
+    shifted += static_cast<std::uint64_t>(rules.end() - pos);
+    rules.insert(pos, rule);
+    return true;
+}
+
+void
+TcamModel::removeRule(std::uint32_t index)
+{
+    HALO_ASSERT(index < rules.size());
+    shifted += rules.size() - index - 1;
+    rules.erase(rules.begin() + index);
+}
+
+std::optional<TcamMatch>
+TcamModel::lookup(std::span<const std::uint8_t> key) const
+{
+    // Hardware compares all entries in parallel and priority-encodes the
+    // first match; the sorted order makes that a linear scan for the
+    // first hit here.
+    for (std::uint32_t i = 0; i < rules.size(); ++i) {
+        if (rules[i].matches(key)) {
+            TcamMatch match;
+            match.action = rules[i].action;
+            match.priority = rules[i].priority;
+            match.index = i;
+            return match;
+        }
+    }
+    return std::nullopt;
+}
+
+SramTcam::SramTcam(const Config &config)
+    : cfg_(config), inner(TcamConfig{config.capacityBytes, 4})
+{
+    HALO_ASSERT(cfg_.partitions > 0);
+}
+
+bool
+SramTcam::addRule(const FlowRule &rule)
+{
+    return inner.addRule(rule);
+}
+
+std::optional<TcamMatch>
+SramTcam::lookup(std::span<const std::uint8_t> key) const
+{
+    return inner.lookup(key);
+}
+
+} // namespace halo

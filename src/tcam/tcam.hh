@@ -1,0 +1,138 @@
+/**
+ * @file
+ * TCAM and SRAM-based-TCAM comparison models (paper SS5.1).
+ *
+ * A TCAM matches a search key against every stored (value, mask) pair in
+ * parallel and returns the highest-priority match in a few cycles. Its
+ * weakness is capacity: power and area grow steeply (see power/), so the
+ * benchmarks must respect a configured capacity. The SRAM-based TCAM
+ * (Z-TCAM style) emulates the parallel match with partitioned SRAM
+ * sub-tables: same functional behavior, slightly longer latency, better
+ * energy.
+ */
+
+#ifndef HALO_TCAM_TCAM_HH
+#define HALO_TCAM_TCAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/rule.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+/** A TCAM search result. */
+struct TcamMatch
+{
+    Action action;
+    std::uint16_t priority = 0;
+    std::uint32_t index = 0;
+};
+
+/** Common TCAM configuration. */
+struct TcamConfig
+{
+    /// Total capacity in bytes of ternary storage. 1 MB holds ~100K
+    /// 5-tuple rules (paper SS6.4), i.e. ~10.5 B per rule; we charge the
+    /// 13 meaningful key bytes per entry.
+    std::uint64_t capacityBytes = 1 << 20;
+    /// Full-parallel search latency (paper: "a few clock cycles").
+    Cycles searchCycles = 4;
+};
+
+/**
+ * Ternary CAM model: functional wildcard matching with constant-time
+ * search and hard capacity limits.
+ */
+class TcamModel
+{
+  public:
+    explicit TcamModel(const TcamConfig &config);
+
+    /** Bytes of ternary storage one rule consumes. */
+    static constexpr std::uint64_t bytesPerEntry = 13;
+
+    /** Maximum rules this device can store. */
+    std::uint64_t
+    capacityEntries() const
+    {
+        return cfg.capacityBytes / bytesPerEntry;
+    }
+
+    /**
+     * Install a rule (kept priority-sorted, as TCAM management software
+     * does — the expensive update path the paper mentions).
+     * @return false when the device is full.
+     */
+    bool addRule(const FlowRule &rule);
+
+    /** Remove the rule at @p index. */
+    void removeRule(std::uint32_t index);
+
+    /** Search; all entries are compared in parallel. */
+    std::optional<TcamMatch>
+    lookup(std::span<const std::uint8_t> key) const;
+
+    /** Search latency in cycles (independent of occupancy). */
+    Cycles searchLatency() const { return cfg.searchCycles; }
+
+    /**
+     * Entries moved to keep priority ordering across all inserts so far
+     * (the TCAM update-cost problem; grows with rule count).
+     */
+    std::uint64_t entriesShifted() const { return shifted; }
+
+    std::uint64_t size() const
+    {
+        return static_cast<std::uint64_t>(rules.size());
+    }
+
+    const TcamConfig &config() const { return cfg; }
+
+  private:
+    TcamConfig cfg;
+    std::vector<FlowRule> rules; ///< sorted by descending priority
+    std::uint64_t shifted = 0;
+};
+
+/**
+ * SRAM-based TCAM (Z-TCAM style): identical functional behavior backed
+ * by partitioned SRAM; longer search, cheaper energy (see power/).
+ */
+class SramTcam
+{
+  public:
+    struct Config
+    {
+        std::uint64_t capacityBytes = 1 << 20;
+        /// Partitioned sub-table walk adds pipeline stages.
+        Cycles searchCycles = 8;
+        unsigned partitions = 8;
+    };
+
+    explicit SramTcam(const Config &config);
+
+    bool addRule(const FlowRule &rule);
+    std::optional<TcamMatch>
+    lookup(std::span<const std::uint8_t> key) const;
+
+    Cycles searchLatency() const { return cfg_.searchCycles; }
+    std::uint64_t
+    capacityEntries() const
+    {
+        return cfg_.capacityBytes / TcamModel::bytesPerEntry;
+    }
+    std::uint64_t size() const { return inner.size(); }
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    TcamModel inner;
+};
+
+} // namespace halo
+
+#endif // HALO_TCAM_TCAM_HH

@@ -1,0 +1,516 @@
+#include "vswitch/vswitch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+constexpr unsigned rxRingSlots = 64;
+constexpr unsigned rxSlotBytes = 128; // two lines per 64-B frame slot
+constexpr unsigned keySlots = 1024;
+
+} // namespace
+
+void
+SwitchTotals::add(const PacketResult &r)
+{
+    ++packets;
+    emcHits += r.emcHit ? 1 : 0;
+    matches += r.matched ? 1 : 0;
+    total += r.total;
+    packetIo += r.packetIo;
+    preprocess += r.preprocess;
+    emcCycles += r.emcCycles;
+    megaflowCycles += r.megaflowCycles;
+    otherCycles += r.otherCycles;
+    instructions += r.instructions;
+}
+
+double
+SwitchTotals::cyclesPerPacket() const
+{
+    return packets ? static_cast<double>(total) /
+                         static_cast<double>(packets)
+                   : 0.0;
+}
+
+VirtualSwitch::VirtualSwitch(SimMemory &memory, MemoryHierarchy &hierarchy,
+                             CoreModel &core_model,
+                             HaloSystem *halo_system,
+                             const VSwitchConfig &config)
+    : mem(memory),
+      hier(hierarchy),
+      core(core_model),
+      haloSys(halo_system),
+      cfg(config),
+      emcCache(memory, config.emcEntries),
+      tuples(memory, config.tupleConfig),
+      openflow(memory, config.tupleConfig),
+      tableBuilder(SoftwareProfile{}),
+      emcBuilder(SoftwareProfile{config.emcProfileInstructions, 0.362,
+                                 0.118, 0.210, 0.309, 3})
+{
+    if (cfg.mode != LookupMode::Software)
+        HALO_ASSERT(haloSys, "HALO mode requires a HaloSystem");
+    core.setLookupEngine(haloSys);
+
+    rxRing = mem.allocate(rxRingSlots * rxSlotBytes, cacheLineBytes);
+    keyStage = mem.allocate(keySlots * cacheLineBytes, cacheLineBytes);
+    // One result word per key slot, 8 words per line (paper SS4.5).
+    resultBuffer =
+        mem.allocate(ceilDiv(keySlots, 8) * cacheLineBytes,
+                     cacheLineBytes);
+}
+
+void
+VirtualSwitch::installRules(const RuleSet &rules)
+{
+    for (const FlowRule &rule : rules) {
+        if (!tuples.addRule(rule))
+            fatal("tuple table overflow while installing rules; raise "
+                  "tupleConfig.tupleCapacity");
+    }
+}
+
+void
+VirtualSwitch::installOpenflowRules(const RuleSet &rules)
+{
+    for (const FlowRule &rule : rules) {
+        if (!openflow.addRule(rule))
+            fatal("OpenFlow tuple overflow; raise "
+                  "tupleConfig.tupleCapacity");
+    }
+}
+
+void
+VirtualSwitch::warmTables()
+{
+    tuples.forEachLine([this](Addr a) { hier.warmLine(a); });
+    openflow.forEachLine([this](Addr a) { hier.warmLine(a); });
+    emcCache.forEachLine([this](Addr a) { hier.warmLine(a); });
+}
+
+void
+VirtualSwitch::openflowUpcall(const FiveTuple &tuple, PacketResult &res,
+                              Cycles &now)
+{
+    // The OpenFlow layer searches EVERY tuple and keeps the highest
+    // priority match (paper SS2.2) — strictly slower than MegaFlow.
+    const auto key = tuple.toKey();
+    OpTrace ops;
+    for (unsigned t = 0; t < openflow.numTuples(); ++t) {
+        const auto masked = openflow.mask(t).apply(key);
+        AccessTrace refs;
+        openflow.table(t).lookup(KeyView(masked.data(), masked.size()),
+                                 &refs);
+        tableBuilder.lowerCompute(4, 2, 0, ops);
+        tableBuilder.lowerTableOp(refs, ops);
+    }
+    // Priority comparison across matches.
+    tableBuilder.lowerCompute(2 * openflow.numTuples(),
+                              openflow.numTuples(), 0, ops);
+    const RunResult rr = core.run(ops, now);
+    res.megaflowCycles += rr.elapsed();
+    res.instructions += rr.instructions;
+    now = rr.endCycle;
+
+    const auto best = openflow.lookupBest(
+        std::span<const std::uint8_t>(key.data(), key.size()));
+    if (!best)
+        return;
+    ++upcallCount;
+    res.matched = true;
+    res.action = Action::decode(best->value);
+
+    // Install the winning rule's pattern into the MegaFlow layer so
+    // later packets of this flow take the fast path (the upcall's
+    // flow-install step; write cost is charged to "others" as OVS
+    // batches installs off the packet path).
+    FlowRule mega;
+    mega.mask = openflow.mask(best->tupleIndex);
+    mega.maskedKey = mega.mask.apply(key);
+    mega.priority = best->priority;
+    mega.action = res.action;
+    tuples.addRule(mega);
+}
+
+LookupMode
+VirtualSwitch::effectiveMode() const
+{
+    if (cfg.mode != LookupMode::Hybrid)
+        return cfg.mode;
+    return haloSys->hybrid().mode() == ComputeMode::Software
+               ? LookupMode::Software
+               : LookupMode::HaloNonBlocking;
+}
+
+Addr
+VirtualSwitch::stageKey(std::span<const std::uint8_t> key, unsigned slot)
+{
+    const Addr addr = keyStage + (slot % keySlots) * cacheLineBytes;
+    mem.write(addr, key.data(), key.size());
+    // Streaming store: lands in LLC, never dirties the private caches.
+    hier.warmLine(addr);
+    return addr;
+}
+
+PacketResult
+VirtualSwitch::processPacket(const Packet &packet)
+{
+    const auto parsed = packet.parseHeaders();
+    PacketResult res;
+    if (!parsed) {
+        ++sums.packets;
+        return res; // malformed: dropped before classification
+    }
+    return classifyTupleAt(parsed->tuple(), true, &packet);
+}
+
+PacketResult
+VirtualSwitch::classifyTuple(const FiveTuple &tuple)
+{
+    return classifyTupleAt(tuple, false, nullptr);
+}
+
+std::vector<PacketResult>
+VirtualSwitch::classifyBurstNB(std::span<const FiveTuple> batch)
+{
+    HALO_ASSERT(haloSys, "burst NB classification requires HALO");
+    const unsigned n = tuples.numTuples();
+    std::vector<PacketResult> results(batch.size());
+    if (batch.empty() || n == 0)
+        return results;
+    HALO_ASSERT(batch.size() * n <= keySlots,
+                "burst too large for the key staging buffer");
+
+    const Cycles start = clock;
+    const unsigned lines =
+        static_cast<unsigned>(ceilDiv(batch.size() * n, 8));
+    for (unsigned l = 0; l < lines; ++l) {
+        mem.zero(resultBuffer + l * cacheLineBytes, cacheLineBytes);
+        hier.warmLine(resultBuffer + l * cacheLineBytes);
+    }
+
+    // Issue every query of every packet back to back.
+    OpTrace ops;
+    unsigned slot = 0;
+    for (const FiveTuple &tuple : batch) {
+        const auto key = tuple.toKey();
+        for (unsigned t = 0; t < n; ++t) {
+            const auto masked = tuples.mask(t).apply(key);
+            const Addr key_addr = stageKey(
+                std::span<const std::uint8_t>(masked.data(),
+                                              masked.size()),
+                slot);
+            tableBuilder.lowerCompute(4, 3, 1, ops);
+            const Addr result_addr = resultBuffer +
+                                     (slot / 8) * cacheLineBytes +
+                                     (slot % 8) * 8;
+            tableBuilder.lowerLookupNB(tuples.table(t).metadataAddr(),
+                                       key_addr, result_addr, ops);
+            ++slot;
+        }
+    }
+    RunResult rr = core.run(ops, start);
+    Cycles now = rr.endCycle;
+
+    // One SNAPSHOT_READ sweep per poll round across all result lines.
+    while (now < rr.lastNbReady) {
+        OpTrace check;
+        for (unsigned l = 0; l < lines; ++l)
+            tableBuilder.lowerSnapshotCheck(
+                resultBuffer + l * cacheLineBytes, check);
+        now = core.run(check, now).endCycle;
+    }
+
+    // Harvest per-packet first-match results.
+    slot = 0;
+    const Cycles per_packet =
+        (now - start) / static_cast<Cycles>(batch.size());
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+        PacketResult &res = results[p];
+        res.tuplesSearched = n;
+        for (unsigned t = 0; t < n; ++t, ++slot) {
+            const std::uint64_t word = mem.load<std::uint64_t>(
+                resultBuffer + (slot / 8) * cacheLineBytes +
+                (slot % 8) * 8);
+            if (!res.matched && word != nbPendingWord &&
+                word != nbMissWord) {
+                res.matched = true;
+                res.action = Action::decode(word);
+            }
+        }
+        res.megaflowCycles = per_packet;
+        res.total = per_packet;
+        res.instructions = rr.instructions / batch.size();
+        sums.add(res);
+    }
+    clock = now;
+    return results;
+}
+
+PacketResult
+VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
+                               bool charge_io_stages,
+                               const Packet *packet)
+{
+    PacketResult res;
+    const Cycles start = clock;
+    Cycles now = start;
+
+    if (charge_io_stages) {
+        // --- Packet IO: RX descriptor + frame copy into the ring.
+        //     DDIO places the frame in LLC; the core then reads it. ---
+        const Addr slot_addr = rxRing + (rxSlot++ % rxRingSlots) *
+                                            rxSlotBytes;
+        if (packet) {
+            const std::size_t n =
+                std::min<std::size_t>(packet->bytes().size(),
+                                      rxSlotBytes);
+            mem.write(slot_addr, packet->bytes().data(), n);
+        }
+        hier.warmLine(slot_addr);
+        hier.warmLine(slot_addr + cacheLineBytes);
+
+        OpTrace io;
+        tableBuilder.lowerCompute(cfg.ioArith, cfg.ioOthers,
+                                  cfg.ioScratch, io);
+        tableBuilder.lowerLoad(slot_addr, 16, AccessPhase::Payload, io);
+        RunResult rr = core.run(io, now);
+        res.packetIo = rr.elapsed();
+        res.instructions += rr.instructions;
+        now = rr.endCycle;
+
+        // --- Pre-processing: header extraction over the frame. ---
+        OpTrace pre;
+        tableBuilder.lowerLoad(slot_addr, 48, AccessPhase::Payload, pre);
+        tableBuilder.lowerCompute(cfg.preArith, cfg.preOthers,
+                                  cfg.preScratch, pre);
+        rr = core.run(pre, now);
+        res.preprocess = rr.elapsed();
+        res.instructions += rr.instructions;
+        now = rr.endCycle;
+    }
+
+    switch (effectiveMode()) {
+      case LookupMode::Software:
+        softwareClassify(tuple, res, now);
+        break;
+      case LookupMode::HaloBlocking:
+        haloBlockingClassify(tuple, res, now);
+        break;
+      case LookupMode::HaloNonBlocking:
+        haloNonBlockingClassify(tuple, res, now);
+        break;
+      case LookupMode::Hybrid:
+        panic("effectiveMode() must resolve Hybrid");
+    }
+
+    // --- OpenFlow slow path on a MegaFlow miss (any lookup engine:
+    //     upcalls always run in software, as in OVS). ---
+    if (!res.matched && cfg.useOpenflowLayer)
+        openflowUpcall(tuple, res, now);
+
+    // --- Action execution + bookkeeping ("others" in Fig. 3). ---
+    OpTrace act;
+    tableBuilder.lowerCompute(cfg.actArith, cfg.actOthers, cfg.actScratch,
+                              act);
+    RunResult rr = core.run(act, now);
+    res.otherCycles = rr.elapsed();
+    res.instructions += rr.instructions;
+    now = rr.endCycle;
+
+    res.total = now - start;
+    clock = now;
+    sums.add(res);
+    return res;
+}
+
+void
+VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
+                                Cycles &now)
+{
+    const auto key = tuple.toKey();
+
+    // --- EMC probe. ---
+    if (cfg.useEmc) {
+        AccessTrace emc_refs;
+        const auto emc_hit = emcCache.lookup(key, &emc_refs);
+        OpTrace emc_ops;
+        emcBuilder.lowerTableOp(emc_refs, emc_ops);
+        RunResult rr = core.run(emc_ops, now);
+        res.emcCycles = rr.elapsed();
+        res.instructions += rr.instructions;
+        now = rr.endCycle;
+        if (emc_hit) {
+            res.emcHit = true;
+            res.matched = true;
+            res.action = Action::decode(*emc_hit);
+            return;
+        }
+    }
+
+    // --- MegaFlow tuple-space search (first match). Each probed tuple
+    //     costs a full Table-1-profile cuckoo lookup. ---
+    OpTrace ops;
+    std::optional<TupleMatch> match;
+    unsigned searched = 0;
+    for (unsigned t = 0; t < tuples.numTuples(); ++t) {
+        const auto masked = tuples.mask(t).apply(key);
+        AccessTrace refs;
+        const auto value = tuples.table(t).lookup(
+            KeyView(masked.data(), masked.size()), &refs);
+        // Mask application: a handful of vector ANDs per tuple.
+        tableBuilder.lowerCompute(4, 2, 0, ops);
+        tableBuilder.lowerTableOp(refs, ops);
+        ++searched;
+        if (value) {
+            match = TupleMatch{*value, decodeRulePriority(*value), t,
+                               searched};
+            break;
+        }
+    }
+    RunResult rr = core.run(ops, now);
+    res.megaflowCycles = rr.elapsed();
+    res.instructions += rr.instructions;
+    now = rr.endCycle;
+    res.tuplesSearched = searched;
+
+    if (match) {
+        res.matched = true;
+        res.action = Action::decode(match->value);
+        if (cfg.useEmc) {
+            // Promote the flow into the EMC (write charged as part of
+            // "others"; OVS batches these inserts).
+            emcCache.insert(key, match->value);
+        }
+    }
+    if (haloSys) {
+        // The software path maintains its own linear-counting estimate
+        // so Hybrid mode can switch back (paper SS4.6).
+        haloSys->hybrid().observe(hashBytes(
+            HashKind::XxMix, 0,
+            std::span<const std::uint8_t>(key.data(), key.size())));
+    }
+}
+
+void
+VirtualSwitch::haloBlockingClassify(const FiveTuple &tuple,
+                                    PacketResult &res, Cycles &now)
+{
+    const auto key = tuple.toKey();
+
+    // Determine functionally which tuples a sequential first-match walk
+    // probes, then price LOOKUP_B per probed tuple with result-dependent
+    // sequencing (each next probe waits on the previous result).
+    const auto match = tuples.lookupFirst(
+        std::span<const std::uint8_t>(key.data(), key.size()), nullptr);
+    const unsigned searched = match ? match->tuplesSearched
+                                    : tuples.numTuples();
+    res.tuplesSearched = searched;
+
+    OpTrace ops;
+    std::int32_t prev_lookup = -1;
+    for (unsigned t = 0; t < searched; ++t) {
+        const auto masked = tuples.mask(t).apply(key);
+        const Addr key_addr = stageKey(
+            std::span<const std::uint8_t>(masked.data(), masked.size()),
+            t);
+        // Masking + staging cost.
+        tableBuilder.lowerCompute(4, 3, 1, ops);
+        tableBuilder.lowerLookupB(tuples.table(t).metadataAddr(),
+                                  key_addr, ops);
+        const auto lookup_idx = static_cast<std::int32_t>(ops.size()) - 1;
+        if (prev_lookup >= 0)
+            ops[lookup_idx].dep = prev_lookup + 1; // after prior branch
+        // Branch consuming the result: serializes the walk.
+        MicroOp branch;
+        branch.kind = OpKind::Branch;
+        branch.dep = lookup_idx;
+        branch.phase = AccessPhase::Bucket;
+        branch.unpredictable = true;
+        ops.push_back(branch);
+        prev_lookup = lookup_idx;
+    }
+
+    RunResult rr = core.run(ops, now);
+    res.megaflowCycles = rr.elapsed();
+    res.instructions += rr.instructions;
+    now = rr.endCycle;
+
+    if (match) {
+        res.matched = true;
+        res.action = Action::decode(match->value);
+    }
+}
+
+void
+VirtualSwitch::haloNonBlockingClassify(const FiveTuple &tuple,
+                                       PacketResult &res, Cycles &now)
+{
+    const auto key = tuple.toKey();
+    const unsigned n = tuples.numTuples();
+    if (n == 0) {
+        return;
+    }
+    res.tuplesSearched = n;
+
+    // Zero the result lines (they signal completion by becoming
+    // non-zero), stage all masked keys, fan out LOOKUP_NB to every
+    // tuple, then SNAPSHOT_READ each result line until all slots are
+    // non-zero (paper SS4.5 batching: 8 results per line).
+    const unsigned lines = static_cast<unsigned>(ceilDiv(n, 8));
+    for (unsigned l = 0; l < lines; ++l) {
+        mem.zero(resultBuffer + l * cacheLineBytes, cacheLineBytes);
+        hier.warmLine(resultBuffer + l * cacheLineBytes);
+    }
+
+    OpTrace ops;
+    for (unsigned t = 0; t < n; ++t) {
+        const auto masked = tuples.mask(t).apply(key);
+        const Addr key_addr = stageKey(
+            std::span<const std::uint8_t>(masked.data(), masked.size()),
+            t);
+        tableBuilder.lowerCompute(4, 3, 1, ops);
+        const Addr result_addr = resultBuffer + (t / 8) * cacheLineBytes +
+                                 (t % 8) * 8;
+        tableBuilder.lowerLookupNB(tuples.table(t).metadataAddr(),
+                                   key_addr, result_addr, ops);
+    }
+    RunResult rr = core.run(ops, now);
+    res.instructions += rr.instructions;
+    Cycles done = rr.endCycle;
+    const Cycles results_ready = rr.lastNbReady;
+
+    // Poll with SNAPSHOT_READ until every line reports 8 ready slots.
+    Cycles poll = done;
+    do {
+        OpTrace check;
+        for (unsigned l = 0; l < lines; ++l)
+            tableBuilder.lowerSnapshotCheck(
+                resultBuffer + l * cacheLineBytes, check);
+        RunResult cr = core.run(check, poll);
+        res.instructions += cr.instructions;
+        poll = cr.endCycle;
+    } while (poll < results_ready);
+
+    now = std::max(poll, results_ready);
+    res.megaflowCycles = now - rr.startCycle;
+
+    // Collect the highest-specificity (first-tuple) hit, as MegaFlow
+    // first-match semantics dictate.
+    for (unsigned t = 0; t < n; ++t) {
+        const std::uint64_t word = mem.load<std::uint64_t>(
+            resultBuffer + (t / 8) * cacheLineBytes + (t % 8) * 8);
+        if (word != nbPendingWord && word != nbMissWord) {
+            res.matched = true;
+            res.action = Action::decode(word);
+            break;
+        }
+    }
+}
+
+} // namespace halo

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The software virtual switch datapath (paper SS2, Fig. 1/2a).
+ *
+ * Pipeline per packet: packet IO (RX ring) -> header pre-processing ->
+ * EMC lookup -> MegaFlow tuple-space search -> action execution. Every
+ * stage is priced on the core model, giving the Fig. 3 breakdown; the
+ * classification stages can run in four modes:
+ *
+ *   Software        — EMC + cuckoo TSS entirely on the core (baseline);
+ *   HaloBlocking    — LOOKUP_B per tuple, result-dependent sequencing;
+ *   HaloNonBlocking — LOOKUP_NB fan-out to all tuples + SNAPSHOT_READ;
+ *   Hybrid          — flow-register-driven switch between Software and
+ *                     HaloNonBlocking (paper SS4.6).
+ *
+ * Modeling notes: packet buffers are DDIO-resident (the NIC writes RX
+ * descriptors into the LLC), and masked-key staging buffers for HALO
+ * queries are written with streaming stores (functional write + LLC
+ * warm), so accelerator key fetches do not pay dirty-private-copy
+ * snoops — matching how DPDK stages lookup batches in practice.
+ */
+
+#ifndef HALO_VSWITCH_VSWITCH_HH
+#define HALO_VSWITCH_VSWITCH_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/halo_system.hh"
+#include "cpu/core_model.hh"
+#include "cpu/trace_builder.hh"
+#include "flow/emc.hh"
+#include "flow/ruleset.hh"
+#include "flow/tuple_space.hh"
+#include "net/packet.hh"
+
+namespace halo {
+
+/** Which engine performs flow classification. */
+enum class LookupMode
+{
+    Software,
+    HaloBlocking,
+    HaloNonBlocking,
+    Hybrid,
+};
+
+/** Datapath configuration. */
+struct VSwitchConfig
+{
+    /**
+     * Enable the third datapath layer (paper Fig. 2a): on a MegaFlow
+     * miss, search *all* OpenFlow tuples for the highest-priority match
+     * and install the result into the MegaFlow layer (OVS upcall
+     * behaviour). Without it, MegaFlow misses are reported unmatched.
+     */
+    bool useOpenflowLayer = false;
+    LookupMode mode = LookupMode::Software;
+    /// EMC entries (OVS default 8192). The EMC runs in software in every
+    /// mode; HALO modes can disable it entirely (it mostly misses at
+    /// high flow counts and pollutes private caches).
+    std::uint64_t emcEntries = 8192;
+    bool useEmc = true;
+    /// MegaFlow search semantics: first match (OVS MegaFlow layer).
+    TupleSpace::Config tupleConfig;
+    /// Instruction-cost knobs (arith/others/stack) per stage.
+    unsigned ioArith = 90, ioOthers = 220, ioScratch = 70;
+    unsigned preArith = 120, preOthers = 150, preScratch = 50;
+    unsigned actArith = 24, actOthers = 48, actScratch = 18;
+    /// EMC lookups are cheaper than full cuckoo lookups.
+    unsigned emcProfileInstructions = 90;
+};
+
+/** Per-packet result + Fig. 3 stage breakdown. */
+struct PacketResult
+{
+    bool matched = false;
+    bool emcHit = false;
+    Action action;
+    unsigned tuplesSearched = 0;
+
+    Cycles total = 0;
+    Cycles packetIo = 0;
+    Cycles preprocess = 0;
+    Cycles emcCycles = 0;
+    Cycles megaflowCycles = 0;
+    Cycles otherCycles = 0;
+
+    /// Instructions retired for this packet.
+    std::uint64_t instructions = 0;
+};
+
+/** Aggregate counters over a run. */
+struct SwitchTotals
+{
+    std::uint64_t packets = 0;
+    std::uint64_t emcHits = 0;
+    std::uint64_t matches = 0;
+    Cycles total = 0;
+    Cycles packetIo = 0;
+    Cycles preprocess = 0;
+    Cycles emcCycles = 0;
+    Cycles megaflowCycles = 0;
+    Cycles otherCycles = 0;
+    std::uint64_t instructions = 0;
+
+    void add(const PacketResult &r);
+    double cyclesPerPacket() const;
+};
+
+/**
+ * The virtual switch.
+ */
+class VirtualSwitch
+{
+  public:
+    /**
+     * @param halo_system required for the HALO/Hybrid modes; may be null
+     *                    for pure software operation.
+     */
+    VirtualSwitch(SimMemory &memory, MemoryHierarchy &hierarchy,
+                  CoreModel &core_model, HaloSystem *halo_system,
+                  const VSwitchConfig &config);
+
+    /** Install the rule table (builds the MegaFlow tuple space). */
+    void installRules(const RuleSet &rules);
+
+    /**
+     * Install the slow-path OpenFlow rules (priority semantics). Only
+     * consulted when cfg.useOpenflowLayer is set and the MegaFlow
+     * layer misses.
+     */
+    void installOpenflowRules(const RuleSet &rules);
+
+    /** Warm the classification tables into the LLC (10K-lookup warmup
+     *  equivalent, paper SS5.2). */
+    void warmTables();
+
+    /** Process one packet through the full pipeline. */
+    PacketResult processPacket(const Packet &packet);
+
+    /** Fast path: classification only, from a pre-parsed tuple. */
+    PacketResult classifyTuple(const FiveTuple &tuple);
+
+    /**
+     * Burst classification in non-blocking HALO mode (DPDK-style): the
+     * LOOKUP_NB queries of every packet in the burst are issued before
+     * any result is awaited, so accelerator work for packet k+1 overlaps
+     * the in-flight queries of packet k. This is the mode that lets the
+     * tuple-space search scale (paper SS6.2, Fig. 11). Returns one
+     * result per packet; cycle cost is amortized across the burst.
+     */
+    std::vector<PacketResult>
+    classifyBurstNB(std::span<const FiveTuple> batch);
+
+    const SwitchTotals &totals() const { return sums; }
+    void resetTotals() { sums = SwitchTotals{}; }
+
+    TupleSpace &tupleSpace() { return tuples; }
+    TupleSpace &openflowLayer() { return openflow; }
+    ExactMatchCache &emc() { return emcCache; }
+
+    /** MegaFlow misses that were resolved by the OpenFlow layer. */
+    std::uint64_t upcalls() const { return upcallCount; }
+
+    /** Mode selected for the *next* packet (Hybrid consults the flow
+     *  register). */
+    LookupMode effectiveMode() const;
+
+    /** Current datapath time (advances with every packet). */
+    Cycles now() const { return clock; }
+
+  private:
+    PacketResult classifyTupleAt(const FiveTuple &tuple,
+                                 bool charge_io_stages,
+                                 const Packet *packet);
+
+    /** Software-mode classification (EMC + TSS traces on the core). */
+    void softwareClassify(const FiveTuple &tuple, PacketResult &res,
+                          Cycles &now);
+
+    /** LOOKUP_B sequential tuple search. */
+    void haloBlockingClassify(const FiveTuple &tuple, PacketResult &res,
+                              Cycles &now);
+
+    /** LOOKUP_NB fan-out + SNAPSHOT_READ completion check. */
+    void haloNonBlockingClassify(const FiveTuple &tuple,
+                                 PacketResult &res, Cycles &now);
+
+    /** Stage a key into the streaming buffer (see file comment). */
+    Addr stageKey(std::span<const std::uint8_t> key, unsigned slot);
+
+    /** OpenFlow slow path: search all tuples, best priority wins, and
+     *  promote the result into the MegaFlow layer. */
+    void openflowUpcall(const FiveTuple &tuple, PacketResult &res,
+                        Cycles &now);
+
+    SimMemory &mem;
+    MemoryHierarchy &hier;
+    CoreModel &core;
+    HaloSystem *haloSys;
+    VSwitchConfig cfg;
+
+    ExactMatchCache emcCache;
+    TupleSpace tuples;   ///< MegaFlow layer
+    TupleSpace openflow; ///< OpenFlow layer (slow path)
+    std::uint64_t upcallCount = 0;
+    TraceBuilder tableBuilder; ///< Table-1 profile (cuckoo lookups)
+    TraceBuilder emcBuilder;   ///< lighter profile for EMC probes
+
+    /// Monotonic datapath clock: accelerator and cache reservation
+    /// state advances in absolute time, so packets must too.
+    Cycles clock = 0;
+    Addr rxRing = invalidAddr;         ///< DDIO-resident packet buffers
+    Addr keyStage = invalidAddr;       ///< streaming key buffers
+    Addr resultBuffer = invalidAddr;   ///< LOOKUP_NB result lines
+    unsigned rxSlot = 0;
+
+    SwitchTotals sums;
+};
+
+} // namespace halo
+
+#endif // HALO_VSWITCH_VSWITCH_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the accelerator's metadata-cache coherence (the snoop-
+ * filter CV bit of paper SS4.3) and the per-access bounds checking
+ * (paper SS4.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/halo_system.hh"
+#include "hash/cuckoo_table.hh"
+
+namespace halo {
+namespace {
+
+struct Rig
+{
+    SimMemory mem{256ull << 20};
+    MemoryHierarchy hier;
+    HaloSystem halo{mem, hier};
+    Addr keySlot = 0;
+
+    Rig() { keySlot = mem.allocate(cacheLineBytes, cacheLineBytes); }
+
+    Addr
+    stage(std::uint64_t id)
+    {
+        std::uint8_t key[16] = {};
+        std::memcpy(key, &id, 8);
+        mem.write(keySlot, key, 16);
+        hier.warmLine(keySlot);
+        return keySlot;
+    }
+};
+
+TEST(MetadataCoherence, CoreWriteInvalidatesAcceleratorCopies)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 256, HashKind::XxMix, 1, 0.95});
+    std::uint8_t key[16] = {1};
+    table.insert(KeyView(key, 16), 7);
+
+    const SliceId target =
+        rig.halo.distributor().route(table.metadataAddr(), 0);
+    auto &acc = rig.halo.accelerator(target);
+
+    rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(0), 0);
+    rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(0), 1000);
+    EXPECT_EQ(acc.stats().counterValue("metadata_misses"), 1u);
+
+    // A core write to the metadata line (e.g. the control plane
+    // resizing the table) triggers the snoop-filter CV-bit
+    // invalidation...
+    rig.hier.coreAccess(0, table.metadataAddr(), /*is_write=*/true);
+
+    // ...so the next query refetches.
+    rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(0), 2000);
+    EXPECT_EQ(acc.stats().counterValue("metadata_misses"), 2u);
+}
+
+TEST(MetadataCoherence, UnrelatedWritesDoNotInvalidate)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 256, HashKind::XxMix, 2, 0.95});
+    std::uint8_t key[16] = {2};
+    table.insert(KeyView(key, 16), 9);
+    const SliceId target =
+        rig.halo.distributor().route(table.metadataAddr(), 0);
+    auto &acc = rig.halo.accelerator(target);
+
+    rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(0), 0);
+    // Writes elsewhere (the version line, a bucket) leave the cached
+    // metadata line alone.
+    rig.hier.coreAccess(0, table.versionAddr(), true);
+    rig.hier.coreAccess(0, table.metadata().bucketArrayAddr, true);
+    rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(0), 1000);
+    EXPECT_EQ(acc.stats().counterValue("metadata_misses"), 1u);
+}
+
+TEST(Bounds, CorruptKvReferenceIsRejected)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 64, HashKind::XxMix, 3, 0.95});
+    std::uint8_t key[16] = {3};
+    table.insert(KeyView(key, 16), 11);
+
+    // Corrupt the inserted entry: keep its signature but point the kv
+    // reference far outside the kv array.
+    const TableMetadata md = table.metadata();
+    bool corrupted = false;
+    for (std::uint64_t b = 0; b < md.numBuckets && !corrupted; ++b) {
+        for (unsigned w = 0; w < entriesPerBucket; ++w) {
+            const Addr ea = bucketEntryAddr(md, b, w);
+            auto entry = rig.mem.load<BucketEntry>(ea);
+            if (entry.kvRef != 0) {
+                entry.kvRef = 0x7fffffff;
+                rig.mem.store(ea, entry);
+                corrupted = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(corrupted);
+
+    const SliceId target =
+        rig.halo.distributor().route(table.metadataAddr(), 0);
+    const QueryResult r = rig.halo.rawQuery(
+        0, table.metadataAddr(), rig.stage(*(std::uint64_t *)key), 0);
+    // The accelerator must neither crash nor fabricate a hit.
+    EXPECT_FALSE(r.found);
+    EXPECT_GE(rig.halo.accelerator(target).boundsViolations(), 1u);
+}
+
+TEST(Bounds, WellFormedTablesNeverViolate)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 2048, HashKind::XxMix, 4, 0.95});
+    for (std::uint64_t i = 0; i < 1800; ++i) {
+        std::uint8_t key[16] = {};
+        std::memcpy(key, &i, 8);
+        table.insert(KeyView(key, 16), i + 1);
+    }
+    for (std::uint64_t i = 0; i < 500; ++i)
+        rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(i % 1800),
+                          i * 300);
+    for (unsigned s = 0; s < rig.halo.numAccelerators(); ++s)
+        EXPECT_EQ(rig.halo.accelerator(s).boundsViolations(), 0u);
+}
+
+} // namespace
+} // namespace halo

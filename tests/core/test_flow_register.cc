@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the linear-counting flow register and the hybrid
+ * controller (paper SS4.6, Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/flow_register.hh"
+#include "core/hybrid.hh"
+#include "sim/random.hh"
+
+namespace halo {
+namespace {
+
+TEST(FlowRegister, EmptyEstimatesZero)
+{
+    FlowRegister reg(32);
+    EXPECT_DOUBLE_EQ(reg.estimate(), 0.0);
+    EXPECT_EQ(reg.unsetBits(), 32u);
+}
+
+TEST(FlowRegister, SingleFlowEstimatesNearOne)
+{
+    FlowRegister reg(32);
+    for (int i = 0; i < 100; ++i)
+        reg.observe(0x12345);
+    EXPECT_NEAR(reg.estimate(), 1.0, 0.2);
+}
+
+TEST(FlowRegister, EstimateAccurateUpToTwiceBits)
+{
+    // Fig. 8b: a register estimates ~2x its bit count reliably.
+    Xoshiro256 rng(42);
+    for (const unsigned bits : {32u, 64u, 128u, 256u}) {
+        for (unsigned flows = bits / 4; flows <= 2 * bits;
+             flows += bits / 4) {
+            double total_err = 0;
+            const int trials = 20;
+            for (int trial = 0; trial < trials; ++trial) {
+                FlowRegister reg(bits);
+                for (unsigned f = 0; f < flows; ++f) {
+                    const std::uint64_t h = rng.next();
+                    // Each flow hashes to a stable value; replay a few
+                    // packets of it.
+                    reg.observe(h);
+                    reg.observe(h);
+                }
+                total_err += std::abs(reg.estimate() -
+                                      static_cast<double>(flows)) /
+                             static_cast<double>(flows);
+            }
+            EXPECT_LT(total_err / trials, 0.30)
+                << bits << " bits @ " << flows << " flows";
+        }
+    }
+}
+
+TEST(FlowRegister, SaturatesGracefully)
+{
+    FlowRegister reg(32);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 100000; ++i)
+        reg.observe(rng.next());
+    EXPECT_EQ(reg.unsetBits(), 0u);
+    EXPECT_DOUBLE_EQ(reg.estimate(), reg.saturationBound());
+}
+
+TEST(FlowRegister, ScanAndResetClearsWindow)
+{
+    FlowRegister reg(32);
+    reg.observe(7);
+    const double est = reg.scanAndReset();
+    EXPECT_GT(est, 0.0);
+    EXPECT_DOUBLE_EQ(reg.estimate(), 0.0);
+}
+
+TEST(Hybrid, StartsInConfiguredMode)
+{
+    HybridController ctl;
+    EXPECT_EQ(ctl.mode(), ComputeMode::Halo);
+    HybridController::Config cfg;
+    cfg.initialMode = ComputeMode::Software;
+    HybridController ctl2(cfg);
+    EXPECT_EQ(ctl2.mode(), ComputeMode::Software);
+}
+
+TEST(Hybrid, SwitchesToSoftwareForFewFlows)
+{
+    HybridController::Config cfg;
+    cfg.windowQueries = 256;
+    HybridController ctl(cfg);
+    // 8 distinct flows, many packets each.
+    for (int i = 0; i < 1000; ++i)
+        ctl.observe(0x1000 + static_cast<std::uint64_t>(i % 8) * 0x77);
+    EXPECT_GT(ctl.windowsClosed(), 0u);
+    EXPECT_EQ(ctl.mode(), ComputeMode::Software);
+    EXPECT_LT(ctl.estimate(), 64.0);
+}
+
+TEST(Hybrid, SwitchesToHaloForManyFlows)
+{
+    HybridController::Config cfg;
+    cfg.windowQueries = 512;
+    cfg.initialMode = ComputeMode::Software;
+    HybridController ctl(cfg);
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 2000; ++i)
+        ctl.observe(rng.next()); // thousands of distinct flows
+    EXPECT_EQ(ctl.mode(), ComputeMode::Halo);
+}
+
+TEST(Hybrid, OscillatesWithTraffic)
+{
+    HybridController::Config cfg;
+    cfg.windowQueries = 128;
+    HybridController ctl(cfg);
+    Xoshiro256 rng(3);
+    // Busy phase.
+    for (int i = 0; i < 256; ++i)
+        ctl.observe(rng.next());
+    EXPECT_EQ(ctl.mode(), ComputeMode::Halo);
+    // Quiet phase: 4 flows only.
+    for (int i = 0; i < 256; ++i)
+        ctl.observe(static_cast<std::uint64_t>(i % 4) * 1234567);
+    EXPECT_EQ(ctl.mode(), ComputeMode::Software);
+}
+
+} // namespace
+} // namespace halo

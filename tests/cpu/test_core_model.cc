@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the OoO core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "cpu/trace_builder.hh"
+
+namespace halo {
+namespace {
+
+OpTrace
+aluOps(unsigned n, bool chained)
+{
+    OpTrace ops;
+    for (unsigned i = 0; i < n; ++i) {
+        MicroOp op;
+        op.kind = OpKind::Alu;
+        op.dep = chained && i > 0 ? static_cast<std::int32_t>(i - 1) : -1;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TEST(CoreModel, IndependentAluBoundByIssueWidth)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    const RunResult r = core.run(aluOps(400, false));
+    // 400 ops at width 4 = 100 cycles, plus pipeline fill slack.
+    EXPECT_GE(r.elapsed(), 100u);
+    EXPECT_LE(r.elapsed(), 120u);
+}
+
+TEST(CoreModel, ChainedAluSerializes)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    const RunResult r = core.run(aluOps(400, true));
+    EXPECT_GE(r.elapsed(), 400u); // one per cycle at best
+}
+
+TEST(CoreModel, IssueWidthMatters)
+{
+    MemoryHierarchy hier;
+    CoreModel narrow(hier, 0, CoreConfig{1, 192, 128, 128, 20, 1});
+    CoreModel wide(hier, 1, CoreConfig{8, 192, 128, 128, 20, 1});
+    const Cycles n = narrow.run(aluOps(256, false)).elapsed();
+    const Cycles w = wide.run(aluOps(256, false)).elapsed();
+    EXPECT_GT(n, 3 * w);
+}
+
+TEST(CoreModel, ScratchLoadsHitL1)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    OpTrace ops;
+    for (int i = 0; i < 10; ++i) {
+        MicroOp op;
+        op.kind = OpKind::Load;
+        op.addr = invalidAddr;
+        ops.push_back(op);
+    }
+    const RunResult r = core.run(ops);
+    EXPECT_EQ(r.levelHits[static_cast<int>(MemLevel::L1)], 10u);
+}
+
+TEST(CoreModel, IndependentMissesOverlap)
+{
+    // 8 independent DRAM loads should take far less than 8x a single
+    // DRAM latency thanks to MSHR-level parallelism.
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    OpTrace one;
+    one.push_back(MicroOp{OpKind::Load, 0x100000, invalidAddr,
+                          invalidAddr, 8, -1, AccessPhase::Payload});
+    const Cycles single = core.run(one).elapsed();
+
+    hier.flushAll();
+    OpTrace eight;
+    for (int i = 0; i < 8; ++i)
+        eight.push_back(MicroOp{OpKind::Load,
+                                0x200000 + static_cast<Addr>(i) * 4096,
+                                invalidAddr, invalidAddr, 8, -1,
+                                AccessPhase::Payload});
+    const Cycles batch = core.run(eight).elapsed();
+    EXPECT_LT(batch, 3 * single);
+}
+
+TEST(CoreModel, DependentMissesSerialize)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    OpTrace ops;
+    for (int i = 0; i < 4; ++i) {
+        MicroOp op;
+        op.kind = OpKind::Load;
+        op.addr = 0x300000 + static_cast<Addr>(i) * 8192;
+        op.dep = i > 0 ? static_cast<std::int32_t>(i - 1) : -1;
+        ops.push_back(op);
+    }
+    const RunResult r = core.run(ops);
+    // Four dependent DRAM accesses: at least 4 x ~150 cycles.
+    EXPECT_GT(r.elapsed(), 600u);
+    EXPECT_GT(r.stallCycles[static_cast<int>(MemLevel::DRAM)], 0u);
+}
+
+TEST(CoreModel, MshrLimitThrottlesMisses)
+{
+    MemoryHierarchy hier;
+    CoreConfig few;
+    few.mshrs = 1;
+    CoreModel throttled(hier, 0, few);
+    CoreModel free(hier, 1);
+
+    auto missTrace = [](Addr base) {
+        OpTrace ops;
+        for (int i = 0; i < 16; ++i)
+            ops.push_back(MicroOp{OpKind::Load,
+                                  base + static_cast<Addr>(i) * 4096,
+                                  invalidAddr, invalidAddr, 8, -1,
+                                  AccessPhase::Payload});
+        return ops;
+    };
+    const Cycles serial = throttled.run(missTrace(0x1000000)).elapsed();
+    const Cycles parallel = free.run(missTrace(0x2000000)).elapsed();
+    EXPECT_GT(serial, 2 * parallel);
+}
+
+TEST(CoreModel, StoresRetireFromStoreBuffer)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    OpTrace ops;
+    for (int i = 0; i < 32; ++i)
+        ops.push_back(MicroOp{OpKind::Store,
+                              0x400000 + static_cast<Addr>(i) * 64,
+                              invalidAddr, invalidAddr, 8, -1,
+                              AccessPhase::Payload});
+    // Stores complete immediately; total is dispatch-bound.
+    EXPECT_LE(core.run(ops).elapsed(), 32u);
+}
+
+TEST(CoreModel, RobLimitsRunahead)
+{
+    MemoryHierarchy hier;
+    CoreConfig tiny;
+    tiny.robEntries = 8;
+    CoreModel small_rob(hier, 0, tiny);
+    CoreModel big_rob(hier, 1);
+
+    // A long-latency load followed by many ALU ops: a big ROB hides the
+    // load under the ALU stream, a tiny one cannot.
+    auto mixTrace = [](Addr a) {
+        OpTrace ops;
+        ops.push_back(MicroOp{OpKind::Load, a, invalidAddr, invalidAddr,
+                              8, -1, AccessPhase::Payload});
+        for (int i = 0; i < 200; ++i)
+            ops.push_back(MicroOp{OpKind::Alu, invalidAddr, invalidAddr,
+                                  invalidAddr, 8, -1,
+                                  AccessPhase::Payload});
+        return ops;
+    };
+    const Cycles slow = small_rob.run(mixTrace(0x3000000)).elapsed();
+    const Cycles fast = big_rob.run(mixTrace(0x4000000)).elapsed();
+    EXPECT_GT(slow, fast);
+}
+
+TEST(CoreModel, PhaseAttributionSumsToTotal)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    TraceBuilder builder;
+    OpTrace ops;
+    builder.lowerCompute(20, 10, 8, ops);
+    builder.lowerLoad(0x500000, 16, AccessPhase::Bucket, ops);
+    const RunResult r = core.run(ops);
+    Cycles sum = r.computeCycles;
+    for (Cycles c : r.phaseCycles)
+        sum += c;
+    EXPECT_EQ(sum, r.elapsed());
+}
+
+TEST(CoreModel, LookupWithoutEnginePanics)
+{
+    MemoryHierarchy hier;
+    CoreModel core(hier, 0);
+    OpTrace ops;
+    ops.push_back(MicroOp{OpKind::LookupB, 0x100, 0x200, invalidAddr, 8,
+                          -1, AccessPhase::Bucket});
+    EXPECT_THROW(core.run(ops), PanicError);
+}
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the decision-tree classifier and the HALO tree-walk
+ * microprogram (paper SS4.8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/halo_system.hh"
+#include "flow/decision_tree.hh"
+#include "flow/ruleset.hh"
+#include "flow/tuple_space.hh"
+#include "net/traffic_gen.hh"
+
+namespace halo {
+namespace {
+
+RuleSet
+smallRules()
+{
+    RuleSet rules;
+    auto add = [&](std::uint32_t dst, unsigned prefix,
+                   std::uint16_t prio, std::uint16_t port) {
+        FlowRule r;
+        r.mask = FlowMask::fields(0, prefix, false, false, false);
+        FiveTuple t;
+        t.dstIp = dst;
+        r.maskedKey = r.mask.apply(t.toKey());
+        r.priority = prio;
+        r.action = {ActionKind::Forward, port};
+        rules.push_back(r);
+    };
+    add(0x0a010000, 16, 10, 1);
+    add(0x0a020000, 16, 10, 2);
+    add(0x0a000000, 8, 5, 3); // broad fallback
+    return rules;
+}
+
+TEST(DecisionTree, ClassifiesByPrefix)
+{
+    SimMemory mem(64 << 20);
+    DecisionTree tree(mem, smallRules());
+    EXPECT_GE(tree.numNodes(), 1u);
+
+    FiveTuple a, b, c, d;
+    a.dstIp = 0x0a01dead;
+    b.dstIp = 0x0a02beef;
+    c.dstIp = 0x0a7711ff;
+    d.dstIp = 0x0b000001;
+    const auto ma = tree.classify(a.toKey());
+    const auto mb = tree.classify(b.toKey());
+    const auto mc = tree.classify(c.toKey());
+    const auto md = tree.classify(d.toKey());
+    ASSERT_TRUE(ma && mb && mc);
+    EXPECT_EQ(ma->action.port, 1);
+    EXPECT_EQ(mb->action.port, 2);
+    EXPECT_EQ(mc->action.port, 3); // falls through to /8
+    EXPECT_FALSE(md.has_value());  // outside 10/8
+}
+
+TEST(DecisionTree, HighestPriorityWinsInLeaf)
+{
+    RuleSet rules = smallRules();
+    // A higher-priority broad rule should beat the /16s.
+    FlowRule boss;
+    boss.mask = FlowMask::fields(0, 8, false, false, false);
+    FiveTuple t;
+    t.dstIp = 0x0a000000;
+    boss.maskedKey = boss.mask.apply(t.toKey());
+    boss.priority = 99;
+    boss.action = {ActionKind::Drop, 9};
+    rules.push_back(boss);
+
+    SimMemory mem(64 << 20);
+    DecisionTree tree(mem, rules);
+    FiveTuple probe;
+    probe.dstIp = 0x0a01aaaa;
+    const auto m = tree.classify(probe.toKey());
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->action.kind, ActionKind::Drop);
+}
+
+TEST(DecisionTree, MatchesLinearScanOnRandomWorkload)
+{
+    SimMemory mem(256 << 20);
+    TrafficConfig cfg;
+    cfg.numFlows = 400;
+    TrafficGenerator gen(cfg);
+    const RuleSet rules =
+        deriveRules(gen.flows(), canonicalMasks(6), 120, 9);
+    DecisionTree tree(mem, rules);
+
+    // Reference: highest-priority linear scan.
+    auto reference = [&](const FiveTuple &t)
+        -> std::optional<std::uint16_t> {
+        const auto key = t.toKey();
+        std::optional<std::uint16_t> best_prio;
+        std::uint16_t best_port = 0;
+        for (const FlowRule &r : rules) {
+            if (r.matches(key) &&
+                (!best_prio || r.priority > *best_prio)) {
+                best_prio = r.priority;
+                best_port = r.action.port;
+            }
+        }
+        if (!best_prio)
+            return std::nullopt;
+        return best_port;
+    };
+
+    unsigned checked = 0;
+    for (const FiveTuple &flow : gen.flows()) {
+        const auto want = reference(flow);
+        const auto got = tree.classify(flow.toKey());
+        ASSERT_EQ(want.has_value(), got.has_value());
+        if (want) {
+            // Port equality is the strong check; leaf truncation could
+            // in principle drop low-priority rules but the highest-
+            // priority match must always survive.
+            EXPECT_EQ(*want, got->action.port);
+        }
+        ++checked;
+    }
+    EXPECT_EQ(checked, 400u);
+}
+
+TEST(DecisionTree, TraceHasDependentWalk)
+{
+    SimMemory mem(64 << 20);
+    DecisionTree tree(mem, smallRules());
+    FiveTuple t;
+    t.dstIp = 0x0a018888;
+    AccessTrace trace;
+    ASSERT_TRUE(tree.classify(t.toKey(), &trace).has_value());
+    ASSERT_GE(trace.size(), 2u);
+    EXPECT_EQ(trace[0].phase, AccessPhase::Metadata);
+    bool dependent = false;
+    for (const MemRef &ref : trace)
+        dependent |= ref.dependsOnPrevious;
+    EXPECT_TRUE(dependent);
+}
+
+TEST(DecisionTree, AcceleratorWalkMatchesSoftware)
+{
+    SimMemory mem(512ull << 20);
+    MemoryHierarchy hier;
+    HaloSystem halo(mem, hier);
+
+    TrafficConfig cfg;
+    cfg.numFlows = 600;
+    TrafficGenerator gen(cfg);
+    const RuleSet rules =
+        deriveRules(gen.flows(), canonicalMasks(5), 200, 17);
+    DecisionTree tree(mem, rules);
+    tree.forEachLine([&](Addr a) { hier.warmLine(a); });
+
+    const Addr key_stage = mem.allocate(cacheLineBytes, cacheLineBytes);
+    unsigned found = 0;
+    for (const FiveTuple &flow : gen.flows()) {
+        const auto key = flow.toKey();
+        mem.write(key_stage, key.data(), key.size());
+        hier.warmLine(key_stage);
+        const QueryResult qr =
+            halo.rawQuery(0, tree.headerAddr(), key_stage, 0);
+        const auto sw = tree.classify(key);
+        ASSERT_EQ(qr.found, sw.has_value());
+        if (sw) {
+            EXPECT_EQ(Action::decode(qr.value).port, sw->action.port);
+            EXPECT_EQ(decodeRulePriority(qr.value), sw->priority);
+            ++found;
+        }
+    }
+    EXPECT_GT(found, 0u);
+    // No bounds violations on well-formed trees.
+    for (unsigned s = 0; s < halo.numAccelerators(); ++s)
+        EXPECT_EQ(halo.accelerator(s).boundsViolations(), 0u);
+}
+
+TEST(DecisionTree, FootprintAndWarming)
+{
+    SimMemory mem(64 << 20);
+    DecisionTree tree(mem, smallRules());
+    EXPECT_GT(tree.footprintBytes(), 0u);
+    std::uint64_t lines = 0;
+    tree.forEachLine([&](Addr a) {
+        EXPECT_TRUE(isLineAligned(a));
+        ++lines;
+    });
+    EXPECT_GE(lines * cacheLineBytes, tree.footprintBytes());
+}
+
+TEST(DecisionTree, RejectsEmptyRuleSet)
+{
+    SimMemory mem(1 << 20);
+    EXPECT_THROW(DecisionTree(mem, RuleSet{}), PanicError);
+}
+
+} // namespace
+} // namespace halo

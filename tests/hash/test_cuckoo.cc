@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit and property tests for the cuckoo hash table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "hash/cuckoo_table.hh"
+#include "sim/random.hh"
+
+namespace halo {
+namespace {
+
+std::vector<std::uint8_t>
+makeKey(std::uint64_t id, std::uint32_t len = 16)
+{
+    std::vector<std::uint8_t> key(len, 0);
+    std::memcpy(key.data(), &id, sizeof(id));
+    key[len - 1] = static_cast<std::uint8_t>(id >> 56) ^ 0x5a;
+    return key;
+}
+
+TEST(Cuckoo, InsertLookupRoundTrip)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 1024, HashKind::XxMix, 1, 0.95});
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const auto key = makeKey(i);
+        ASSERT_TRUE(t.insert(KeyView(key), i * 10 + 1));
+    }
+    EXPECT_EQ(t.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const auto key = makeKey(i);
+        const auto v = t.lookup(KeyView(key));
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i * 10 + 1);
+    }
+}
+
+TEST(Cuckoo, MissingKeyNotFound)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 64, HashKind::XxMix, 2, 0.95});
+    const auto key = makeKey(1);
+    t.insert(KeyView(key), 5);
+    const auto other = makeKey(999);
+    EXPECT_FALSE(t.lookup(KeyView(other)).has_value());
+}
+
+TEST(Cuckoo, UpdateInPlace)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 64, HashKind::XxMix, 3, 0.95});
+    const auto key = makeKey(7);
+    t.insert(KeyView(key), 1);
+    t.insert(KeyView(key), 2);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.lookup(KeyView(key)), 2u);
+}
+
+TEST(Cuckoo, EraseRemovesAndFreesSlot)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 64, HashKind::XxMix, 4, 0.95});
+    const auto key = makeKey(11);
+    t.insert(KeyView(key), 3);
+    EXPECT_TRUE(t.erase(KeyView(key)));
+    EXPECT_FALSE(t.lookup(KeyView(key)).has_value());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.erase(KeyView(key)));
+    // The slot can be reused.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const auto k = makeKey(i + 100);
+        ASSERT_TRUE(t.insert(KeyView(k), i));
+    }
+}
+
+TEST(Cuckoo, FillsToHighOccupancyViaDisplacement)
+{
+    SimMemory mem(64 << 20);
+    // Chosen so the power-of-two bucket array is nearly full at 95%:
+    // 30000/0.95 entries round up to 4096 buckets = 32768 slots.
+    const std::uint64_t capacity = 30000;
+    CuckooHashTable t(mem, {16, capacity, HashKind::XxMix, 5, 0.95});
+    std::uint64_t inserted = 0;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+        const auto key = makeKey(i);
+        if (t.insert(KeyView(key), i))
+            ++inserted;
+    }
+    // The paper quotes ~95% utilization for cuckoo hashing.
+    EXPECT_GT(static_cast<double>(inserted) /
+                  static_cast<double>(capacity),
+              0.97);
+    EXPECT_GT(t.loadFactor(), 0.80);
+    EXPECT_GT(t.cuckooMoves(), 0u);
+    // Everything inserted must still be findable (no lost entries).
+    std::uint64_t found = 0;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+        const auto key = makeKey(i);
+        if (t.lookup(KeyView(key)).has_value())
+            ++found;
+    }
+    EXPECT_EQ(found, inserted);
+}
+
+TEST(Cuckoo, LookupTraceShape)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 256, HashKind::XxMix, 6, 0.95});
+    const auto key = makeKey(21);
+    t.insert(KeyView(key), 9);
+
+    AccessTrace trace;
+    ASSERT_TRUE(t.lookup(KeyView(key), &trace).has_value());
+
+    // Metadata first, then version lock, key fetch, bucket(s), kv.
+    ASSERT_GE(trace.size(), 5u);
+    EXPECT_EQ(trace[0].phase, AccessPhase::Metadata);
+    EXPECT_EQ(trace[1].phase, AccessPhase::Lock);
+    EXPECT_EQ(trace[2].phase, AccessPhase::KeyFetch);
+    unsigned buckets = 0, kvs = 0, locks = 0;
+    for (const MemRef &ref : trace) {
+        EXPECT_FALSE(ref.write);
+        buckets += ref.phase == AccessPhase::Bucket ? 1 : 0;
+        kvs += ref.phase == AccessPhase::KeyValue ? 1 : 0;
+        locks += ref.phase == AccessPhase::Lock ? 1 : 0;
+    }
+    EXPECT_GE(buckets, 1u);
+    EXPECT_LE(buckets, 2u);
+    EXPECT_GE(kvs, 1u);
+    EXPECT_EQ(locks, 2u); // optimistic-lock sample + re-validate
+}
+
+TEST(Cuckoo, InsertTraceContainsWrites)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 256, HashKind::XxMix, 7, 0.95});
+    const auto key = makeKey(33);
+    AccessTrace trace;
+    ASSERT_TRUE(t.insert(KeyView(key), 4, &trace));
+    unsigned writes = 0;
+    for (const MemRef &ref : trace)
+        writes += ref.write ? 1 : 0;
+    EXPECT_GE(writes, 3u); // version bump x2 + entry + kv
+}
+
+TEST(Cuckoo, VersionCounterAdvancesOnWrites)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 64, HashKind::XxMix, 8, 0.95});
+    const Addr ver = t.versionAddr();
+    EXPECT_EQ(mem.load<std::uint64_t>(ver), 0u);
+    const auto key = makeKey(3);
+    t.insert(KeyView(key), 1);
+    const std::uint64_t after_insert = mem.load<std::uint64_t>(ver);
+    EXPECT_GE(after_insert, 2u); // pre+post bump
+    EXPECT_EQ(after_insert % 2, 0u); // readers see even = stable
+    t.erase(KeyView(key));
+    EXPECT_GT(mem.load<std::uint64_t>(ver), after_insert);
+}
+
+TEST(Cuckoo, MetadataSelfDescribing)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {24, 512, HashKind::Jenkins, 9, 0.95});
+    const auto md = mem.load<TableMetadata>(t.metadataAddr());
+    EXPECT_EQ(md.magic, tableMagic);
+    EXPECT_EQ(md.keyLen, 24u);
+    EXPECT_EQ(md.hashKind,
+              static_cast<std::uint32_t>(HashKind::Jenkins));
+    EXPECT_TRUE(isPowerOfTwo(md.numBuckets));
+    EXPECT_EQ(md.bucketMask, md.numBuckets - 1);
+    EXPECT_EQ(md.kvSlotBytes, kvSlotBytesFor(24));
+}
+
+TEST(Cuckoo, RejectsWrongKeyLength)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 64, HashKind::XxMix, 10, 0.95});
+    const auto key = makeKey(1, 8);
+    EXPECT_THROW(t.lookup(KeyView(key)), PanicError);
+}
+
+TEST(Cuckoo, ForEachLineCoversFootprint)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 1024, HashKind::XxMix, 11, 0.95});
+    std::uint64_t lines = 0;
+    t.forEachLine([&](Addr a) {
+        EXPECT_TRUE(isLineAligned(a));
+        ++lines;
+    });
+    EXPECT_GE(lines * cacheLineBytes, t.footprintBytes());
+}
+
+/** Property sweep: round-trip across key lengths and hash kinds. */
+class CuckooParam
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, HashKind>>
+{
+};
+
+TEST_P(CuckooParam, RandomOpsMatchReferenceMap)
+{
+    const auto [key_len, kind] = GetParam();
+    SimMemory mem(64 << 20);
+    CuckooHashTable t(mem, {key_len, 4096, kind, 12, 0.95});
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Xoshiro256 rng(key_len * 7919 + static_cast<unsigned>(kind));
+
+    for (int op = 0; op < 4000; ++op) {
+        const std::uint64_t id = rng.nextBounded(800);
+        const auto key = makeKey(id, key_len);
+        const int what = static_cast<int>(rng.nextBounded(10));
+        if (what < 6) {
+            const std::uint64_t val = rng.next() | 1;
+            if (t.insert(KeyView(key), val))
+                ref[id] = val;
+        } else if (what < 8) {
+            const bool erased = t.erase(KeyView(key));
+            EXPECT_EQ(erased, ref.erase(id) > 0);
+        } else {
+            const auto got = t.lookup(KeyView(key));
+            const auto it = ref.find(id);
+            if (it == ref.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyLenAndKind, CuckooParam,
+    ::testing::Combine(::testing::Values(8u, 13u, 16u, 32u, 64u),
+                       ::testing::Values(HashKind::Crc32c,
+                                         HashKind::Jenkins,
+                                         HashKind::XxMix)));
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for hash functions and signature/bucket derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "hash/hash_fn.hh"
+
+namespace halo {
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const char *s)
+{
+    std::vector<std::uint8_t> v;
+    while (*s)
+        v.push_back(static_cast<std::uint8_t>(*s++));
+    return v;
+}
+
+TEST(Crc32c, KnownVector)
+{
+    // CRC32c("123456789") = 0xE3069283 (well-known check value).
+    const auto data = bytesOf("123456789");
+    EXPECT_EQ(crc32c(std::span<const std::uint8_t>(data), 0),
+              0xe3069283u);
+}
+
+TEST(Crc32c, SeedChangesDigest)
+{
+    const auto data = bytesOf("hello");
+    EXPECT_NE(crc32c(std::span<const std::uint8_t>(data), 0),
+              crc32c(std::span<const std::uint8_t>(data), 1));
+}
+
+TEST(HashFns, DeterministicAndKindSensitive)
+{
+    const auto data = bytesOf("flow-key-0123456");
+    const std::span<const std::uint8_t> s(data);
+    for (unsigned k = 0; k < numHashKinds; ++k) {
+        const auto kind = static_cast<HashKind>(k);
+        EXPECT_EQ(hashBytes(kind, 7, s), hashBytes(kind, 7, s));
+    }
+    EXPECT_NE(hashBytes(HashKind::Crc32c, 7, s),
+              hashBytes(HashKind::XxMix, 7, s));
+    EXPECT_NE(hashBytes(HashKind::Jenkins, 7, s),
+              hashBytes(HashKind::XxMix, 7, s));
+}
+
+TEST(HashFns, AvalancheOnSingleByteChange)
+{
+    auto data = bytesOf("0123456789abcdef");
+    const std::uint64_t h1 =
+        hashBytes(HashKind::XxMix, 0, std::span<const std::uint8_t>(data));
+    data[7] ^= 1;
+    const std::uint64_t h2 =
+        hashBytes(HashKind::XxMix, 0, std::span<const std::uint8_t>(data));
+    // At least a quarter of the bits should flip.
+    EXPECT_GT(__builtin_popcountll(h1 ^ h2), 16);
+}
+
+TEST(HashFns, DistributionAcrossBuckets)
+{
+    constexpr std::uint64_t buckets = 64;
+    std::vector<unsigned> counts(buckets, 0);
+    for (std::uint32_t i = 0; i < 64000; ++i) {
+        std::uint8_t key[4];
+        std::memcpy(key, &i, 4);
+        const std::uint64_t h = hashBytes(
+            HashKind::XxMix, 0, std::span<const std::uint8_t>(key, 4));
+        ++counts[h % buckets];
+    }
+    for (unsigned c : counts) {
+        EXPECT_GT(c, 500u);
+        EXPECT_LT(c, 2000u);
+    }
+}
+
+TEST(Signature, NeverZero)
+{
+    for (std::uint64_t h : {0ull, 0xffffull, 0x10000ull,
+                            0xffffffffffffffffull, 0x0000ffff0000ull}) {
+        EXPECT_NE(shortSignature(h), 0u);
+    }
+}
+
+TEST(AlternativeBucket, IsInvolution)
+{
+    const std::uint64_t mask = 1023;
+    for (std::uint64_t b = 0; b < 1024; b += 37) {
+        for (std::uint32_t sig : {1u, 77u, 0xdeadu, 0xffffffffu}) {
+            const std::uint64_t alt = alternativeBucket(b, sig, mask);
+            EXPECT_LE(alt, mask);
+            EXPECT_EQ(alternativeBucket(alt, sig, mask), b);
+        }
+    }
+}
+
+TEST(AlternativeBucket, UsuallyDiffersFromPrimary)
+{
+    const std::uint64_t mask = 255;
+    unsigned same = 0;
+    for (std::uint32_t sig = 1; sig < 1000; ++sig)
+        same += alternativeBucket(5, sig, mask) == 5 ? 1 : 0;
+    EXPECT_LT(same, 20u);
+}
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the single-function-hash baseline table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hash/sfh_table.hh"
+
+namespace halo {
+namespace {
+
+std::vector<std::uint8_t>
+makeKey(std::uint64_t id, std::uint32_t len = 16)
+{
+    std::vector<std::uint8_t> key(len, 0);
+    std::memcpy(key.data(), &id, sizeof(id));
+    return key;
+}
+
+TEST(Sfh, InsertLookupEraseRoundTrip)
+{
+    SimMemory mem(32 << 20);
+    SingleFunctionTable t(mem, {16, 256, HashKind::XxMix, 1, 5.0});
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const auto key = makeKey(i);
+        ASSERT_TRUE(t.insert(KeyView(key), i + 1));
+    }
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const auto key = makeKey(i);
+        ASSERT_EQ(*t.lookup(KeyView(key)), i + 1);
+    }
+    const auto key = makeKey(7);
+    EXPECT_TRUE(t.erase(KeyView(key)));
+    EXPECT_FALSE(t.lookup(KeyView(key)).has_value());
+}
+
+TEST(Sfh, UpdateInPlace)
+{
+    SimMemory mem(32 << 20);
+    SingleFunctionTable t(mem, {16, 64, HashKind::XxMix, 2, 5.0});
+    const auto key = makeKey(5);
+    t.insert(KeyView(key), 1);
+    t.insert(KeyView(key), 2);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.lookup(KeyView(key)), 2u);
+}
+
+TEST(Sfh, UtilizationIsLow)
+{
+    // The paper's point: SFH wastes space — ~20% utilization at the
+    // default 5x oversizing.
+    SimMemory mem(128 << 20);
+    SingleFunctionTable t(mem, {16, 50000, HashKind::XxMix, 3, 5.0});
+    std::uint64_t inserted = 0;
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        const auto key = makeKey(i);
+        inserted += t.insert(KeyView(key), i) ? 1 : 0;
+    }
+    // Nearly everything fits thanks to oversizing...
+    EXPECT_GT(static_cast<double>(inserted) / 50000.0, 0.99);
+    // ...but the bucket array is mostly empty.
+    EXPECT_LT(t.utilization(), 0.25);
+}
+
+TEST(Sfh, FootprintLargerThanCuckooForSameKeys)
+{
+    SimMemory mem(256 << 20);
+    SingleFunctionTable sfh(mem, {16, 10000, HashKind::XxMix, 4, 5.0});
+    CuckooHashTable cuckoo(mem, {16, 10000, HashKind::XxMix, 4, 0.95});
+    EXPECT_GT(static_cast<double>(sfh.footprintBytes()),
+              1.5 * static_cast<double>(cuckoo.footprintBytes()));
+}
+
+TEST(Sfh, BucketOverflowFailsInsert)
+{
+    // With oversize=1 and few buckets, collisions overflow quickly.
+    SimMemory mem(32 << 20);
+    SingleFunctionTable t(mem, {16, 64, HashKind::XxMix, 5, 1.0});
+    std::uint64_t failures = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const auto key = makeKey(i * 977 + 13);
+        failures += t.insert(KeyView(key), i) ? 0 : 1;
+    }
+    // 64 keys into 8 8-way buckets: overflow is practically certain.
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(Sfh, LookupTraceHasSingleBucket)
+{
+    SimMemory mem(32 << 20);
+    SingleFunctionTable t(mem, {16, 64, HashKind::XxMix, 6, 5.0});
+    const auto key = makeKey(9);
+    t.insert(KeyView(key), 1);
+    AccessTrace trace;
+    ASSERT_TRUE(t.lookup(KeyView(key), &trace).has_value());
+    unsigned buckets = 0;
+    for (const MemRef &ref : trace)
+        buckets += ref.phase == AccessPhase::Bucket ? 1 : 0;
+    EXPECT_EQ(buckets, 1u);
+}
+
+} // namespace
+} // namespace halo

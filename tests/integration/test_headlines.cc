@@ -1,0 +1,241 @@
+/**
+ * @file
+ * End-to-end integration tests asserting the paper's headline *shapes*
+ * on scaled-down workloads (the full-size sweeps live in bench/).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/halo_system.hh"
+#include "cpu/trace_builder.hh"
+#include "flow/ruleset.hh"
+#include "hash/cuckoo_table.hh"
+#include "power/power_model.hh"
+#include "vswitch/vswitch.hh"
+
+namespace halo {
+namespace {
+
+std::array<std::uint8_t, 16>
+keyForId(std::uint64_t id)
+{
+    std::array<std::uint8_t, 16> key{};
+    std::memcpy(key.data(), &id, sizeof(id));
+    const std::uint64_t mixed = id * 0x9e3779b97f4a7c15ull;
+    std::memcpy(key.data() + 8, &mixed, sizeof(mixed));
+    return key;
+}
+
+struct Rig
+{
+    SimMemory mem{1ull << 30};
+    MemoryHierarchy hier;
+    HaloSystem halo{mem, hier};
+    CoreModel core{hier, 0};
+    TraceBuilder builder;
+    Addr keyBase = 0;
+    unsigned keySlot = 0;
+
+    Rig()
+    {
+        core.setLookupEngine(&halo);
+        keyBase = mem.allocate(64 * cacheLineBytes, cacheLineBytes);
+    }
+
+    Addr
+    stage(const std::array<std::uint8_t, 16> &key)
+    {
+        const Addr a = keyBase + (keySlot++ % 64) * cacheLineBytes;
+        mem.write(a, key.data(), key.size());
+        hier.warmLine(a);
+        return a;
+    }
+};
+
+/** Software cycles/lookup over an LLC-resident table. */
+double
+softwareRate(Rig &rig, const CuckooHashTable &table, std::uint64_t pop,
+             unsigned lookups)
+{
+    Xoshiro256 rng(3);
+    Cycles now = 0;
+    for (unsigned i = 0; i < lookups; i += 64) {
+        OpTrace ops;
+        for (unsigned j = 0; j < 64; ++j) {
+            const auto key = keyForId(rng.nextBounded(pop));
+            AccessTrace refs;
+            table.lookup(KeyView(key.data(), key.size()), &refs);
+            rig.builder.lowerTableOp(refs, ops);
+        }
+        now = rig.core.run(ops, now).endCycle;
+    }
+    return static_cast<double>(now) / lookups;
+}
+
+double
+haloRate(Rig &rig, const CuckooHashTable &table, std::uint64_t pop,
+         unsigned lookups)
+{
+    Xoshiro256 rng(4);
+    Cycles now = 0;
+    for (unsigned i = 0; i < lookups; i += 64) {
+        OpTrace ops;
+        for (unsigned j = 0; j < 64; ++j) {
+            const auto key = keyForId(rng.nextBounded(pop));
+            rig.builder.lowerLookupB(table.metadataAddr(),
+                                     rig.stage(key), ops);
+        }
+        now = rig.core.run(ops, now).endCycle;
+    }
+    return static_cast<double>(now) / lookups;
+}
+
+TEST(Headlines, HaloSpeedsUpLlcResidentLookupsRoughly3x)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 200000, HashKind::XxMix, 0x91, 0.95});
+    for (std::uint64_t i = 0; i < 180000; ++i) {
+        const auto key = keyForId(i);
+        ASSERT_TRUE(table.insert(KeyView(key.data(), key.size()), i));
+    }
+    table.forEachLine([&](Addr a) { rig.hier.warmLine(a); });
+
+    const double sw = softwareRate(rig, table, 180000, 1024);
+    rig.halo.drainAll();
+    const double hw = haloRate(rig, table, 180000, 1024);
+    const double speedup = sw / hw;
+    // Paper headline: 3.3x. Accept the 2.5-4.0 band for the small run.
+    EXPECT_GT(speedup, 2.5) << "sw=" << sw << " halo=" << hw;
+    EXPECT_LT(speedup, 4.0) << "sw=" << sw << " halo=" << hw;
+}
+
+TEST(Headlines, SoftwareCompetitiveOnTinyTables)
+{
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 8, HashKind::XxMix, 0x92, 0.95});
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto key = keyForId(i);
+        table.insert(KeyView(key.data(), key.size()), i);
+    }
+    table.forEachLine([&](Addr a) {
+        rig.hier.warmLine(a, /*into_private=*/true, 0);
+    });
+    const double sw = softwareRate(rig, table, 8, 512);
+    rig.halo.drainAll();
+    const double hw = haloRate(rig, table, 8, 512);
+    // Paper SS6.1: software wins below ~10 entries; our model puts the
+    // two within ~25% of each other, with software at least at parity.
+    EXPECT_LT(sw, hw * 1.25) << "sw=" << sw << " halo=" << hw;
+}
+
+TEST(Headlines, NonBlockingTssScalesWithTuples)
+{
+    // Burst-NB classification of a 10-tuple space beats the software
+    // walk by a wide margin (Fig. 11 shape).
+    SimMemory mem(1ull << 30);
+    MemoryHierarchy hier;
+    HaloSystem halo(mem, hier);
+    CoreModel core(hier, 0);
+
+    TrafficConfig tcfg;
+    tcfg.numFlows = 20000;
+    TrafficGenerator gen(tcfg);
+    const RuleSet rules =
+        deriveRules(gen.flows(), canonicalMasks(10), 10000, 5);
+
+    auto make = [&](LookupMode mode) {
+        VSwitchConfig cfg;
+        cfg.mode = mode;
+        cfg.useEmc = false;
+        cfg.tupleConfig.tupleCapacity = 4096;
+        return VirtualSwitch(mem, hier, core, &halo, cfg);
+    };
+    VirtualSwitch sw = make(LookupMode::Software);
+    VirtualSwitch nb = make(LookupMode::HaloNonBlocking);
+    sw.installRules(rules);
+    nb.installRules(rules);
+    sw.warmTables();
+    nb.warmTables();
+
+    Xoshiro256 rng(6);
+    Cycles sw_begin = sw.now();
+    for (int i = 0; i < 256; ++i) {
+        FiveTuple alien; // misses walk all tuples
+        alien.srcIp = 0xc0000000 + static_cast<std::uint32_t>(i);
+        alien.dstIp = 0xc1000000 + static_cast<std::uint32_t>(i);
+        sw.classifyTuple(alien);
+    }
+    const double sw_cpp =
+        static_cast<double>(sw.now() - sw_begin) / 256.0;
+
+    std::vector<FiveTuple> batch(16);
+    const Cycles nb_begin = nb.now();
+    for (int i = 0; i < 256; i += 16) {
+        for (int b = 0; b < 16; ++b) {
+            batch[b].srcIp = 0xc0000000 + static_cast<std::uint32_t>(
+                                              i + b);
+            batch[b].dstIp = 0xc1000000 + static_cast<std::uint32_t>(
+                                              i + b);
+        }
+        nb.classifyBurstNB(batch);
+    }
+    const double nb_cpp =
+        static_cast<double>(nb.now() - nb_begin) / 256.0;
+
+    EXPECT_GT(sw_cpp / nb_cpp, 4.0)
+        << "sw=" << sw_cpp << " nb=" << nb_cpp;
+}
+
+TEST(Headlines, EnergyEfficiencyHeadline)
+{
+    const double ratio = dynamicEfficiencyRatio(
+        tcamPowerArea(1 << 20), haloAcceleratorPowerArea());
+    EXPECT_NEAR(ratio, 48.2, 0.3);
+}
+
+TEST(Headlines, Table1InstructionBudget)
+{
+    SimMemory mem(256ull << 20);
+    CuckooHashTable table(mem, {16, 4096, HashKind::XxMix, 0x93, 0.95});
+    const auto key = keyForId(1);
+    table.insert(KeyView(key.data(), key.size()), 1);
+    AccessTrace refs;
+    table.lookup(KeyView(key.data(), key.size()), &refs);
+    OpTrace ops;
+    TraceBuilder builder;
+    builder.lowerTableOp(refs, ops);
+    EXPECT_NEAR(static_cast<double>(ops.size()), 210.0, 15.0);
+    OpTrace halo_ops;
+    builder.lowerLookupB(table.metadataAddr(), 0x100, halo_ops);
+    EXPECT_LT(halo_ops.size() * 50, ops.size());
+}
+
+TEST(Headlines, AcceleratorAvoidsPrivateCaches)
+{
+    // A long HALO query stream must leave the issuing core's L1/L2
+    // essentially untouched (the Fig. 12 mechanism).
+    Rig rig;
+    CuckooHashTable table(rig.mem,
+                          {16, 65536, HashKind::XxMix, 0x94, 0.95});
+    for (std::uint64_t i = 0; i < 60000; ++i) {
+        const auto key = keyForId(i);
+        table.insert(KeyView(key.data(), key.size()), i);
+    }
+    table.forEachLine([&](Addr a) { rig.hier.warmLine(a); });
+
+    const std::uint64_t l1_before =
+        rig.hier.l1(0).stats().counterValue("misses");
+    Xoshiro256 rng(8);
+    for (int i = 0; i < 500; ++i) {
+        const auto key = keyForId(rng.nextBounded(60000));
+        rig.halo.rawQuery(0, table.metadataAddr(), rig.stage(key),
+                          static_cast<Cycles>(i) * 500);
+    }
+    // rawQuery bypasses the core entirely: zero L1 pressure.
+    EXPECT_EQ(rig.hier.l1(0).stats().counterValue("misses"), l1_before);
+}
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model and the DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace halo {
+namespace {
+
+Cache
+smallCache()
+{
+    // 4 KiB, 4-way, 16 sets.
+    return Cache("test", 4096, 4, 3);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c = smallCache();
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1038, false).hit); // same line
+    EXPECT_EQ(c.stats().counterValue("hits"), 2u);
+    EXPECT_EQ(c.stats().counterValue("misses"), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c = smallCache(); // 16 sets * 64B stride
+    // Fill one set (4 ways): lines mapping to set 0 are 64*16 apart.
+    const Addr stride = 64 * 16;
+    for (Addr i = 0; i < 4; ++i)
+        c.access(i * stride, false);
+    // Touch line 0 so line 1 becomes LRU.
+    c.access(0, false);
+    // A 5th line evicts line 1 (the LRU), not line 0.
+    c.access(4 * stride, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(stride));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c = smallCache();
+    const Addr stride = 64 * 16;
+    c.access(0, true); // dirty
+    for (Addr i = 1; i <= 4; ++i)
+        c.access(i * stride, false);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.stats().counterValue("writebacks"), 1u);
+}
+
+TEST(Cache, InvalidateReportsDirty)
+{
+    Cache c = smallCache();
+    c.access(0x40, true);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.contains(0x40));
+    c.access(0x80, false);
+    EXPECT_FALSE(c.invalidate(0x80)); // clean
+    EXPECT_FALSE(c.invalidate(0xc0)); // absent
+}
+
+TEST(Cache, LockBitPinsLine)
+{
+    Cache c = smallCache();
+    const Addr stride = 64 * 16;
+    c.access(0, false);
+    EXPECT_TRUE(c.setLockBit(0, true));
+    EXPECT_TRUE(c.lockBit(0));
+    // Fill the set; the locked line must survive.
+    for (Addr i = 1; i <= 6; ++i)
+        c.access(i * stride, false);
+    EXPECT_TRUE(c.contains(0));
+    c.setLockBit(0, false);
+    EXPECT_FALSE(c.lockBit(0));
+}
+
+TEST(Cache, LockBitOnAbsentLineFails)
+{
+    Cache c = smallCache();
+    EXPECT_FALSE(c.setLockBit(0x5000, true));
+    EXPECT_FALSE(c.lockBit(0x5000));
+}
+
+TEST(Cache, ProbeOnlyDoesNotAllocate)
+{
+    Cache c = smallCache();
+    EXPECT_FALSE(c.access(0x2000, false, /*allocate=*/false).hit);
+    EXPECT_FALSE(c.contains(0x2000));
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    Cache c = smallCache();
+    c.access(0x40, true);
+    c.access(0x80, false);
+    EXPECT_EQ(c.validLines(), 2u);
+    c.flushAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(Dram, RowBufferHitIsCheaper)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    const Cycles first = dram.access(0);      // row miss (closed)
+    const Cycles second = dram.access(128);   // possibly other channel
+    const Cycles again = dram.access(0);      // row hit
+    EXPECT_EQ(first, cfg.rowMissCycles);
+    EXPECT_EQ(again, cfg.rowHitCycles);
+    (void)second;
+}
+
+TEST(Dram, RowConflictIsMostExpensive)
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.banksPerChannel = 1;
+    DramModel dram(cfg);
+    dram.access(0);
+    const Cycles conflict = dram.access(cfg.rowBytes); // same bank, new row
+    EXPECT_EQ(conflict, cfg.rowConflictCycles);
+    EXPECT_EQ(dram.stats().counterValue("row_conflicts"), 1u);
+}
+
+TEST(MemLevelName, AllNamed)
+{
+    EXPECT_STREQ(memLevelName(MemLevel::L1), "L1");
+    EXPECT_STREQ(memLevelName(MemLevel::L2), "L2");
+    EXPECT_STREQ(memLevelName(MemLevel::LLC), "LLC");
+    EXPECT_STREQ(memLevelName(MemLevel::RemoteCache), "RemoteCache");
+    EXPECT_STREQ(memLevelName(MemLevel::DRAM), "DRAM");
+}
+
+} // namespace
+} // namespace halo

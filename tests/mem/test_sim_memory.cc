@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the lazily-paged simulated memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/sim_memory.hh"
+
+namespace halo {
+namespace {
+
+TEST(SimMemory, AllocateRespectsAlignment)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(10, 64);
+    const Addr b = mem.allocate(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST(SimMemory, AddressZeroNeverAllocated)
+{
+    SimMemory mem(1 << 20);
+    EXPECT_GE(mem.allocate(1, 1), static_cast<Addr>(cacheLineBytes));
+}
+
+TEST(SimMemory, RoundTripScalars)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(64);
+    mem.store<std::uint64_t>(a, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.load<std::uint64_t>(a), 0xdeadbeefcafef00dull);
+    mem.store<std::uint16_t>(a + 32, 0x1234);
+    EXPECT_EQ(mem.load<std::uint16_t>(a + 32), 0x1234);
+}
+
+TEST(SimMemory, UntouchedMemoryReadsZero)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(128);
+    EXPECT_EQ(mem.load<std::uint64_t>(a + 64), 0u);
+}
+
+TEST(SimMemory, CrossPageReadWrite)
+{
+    SimMemory mem(4 << 20);
+    // Straddle a 64 KiB page boundary.
+    const Addr a = SimMemory::pageBytes - 8;
+    std::uint8_t out[16], in[16];
+    for (int i = 0; i < 16; ++i)
+        in[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    mem.write(a, in, sizeof(in));
+    mem.read(a, out, sizeof(out));
+    EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(SimMemory, LazyPagesOnlyMaterializeOnWrite)
+{
+    SimMemory mem(256 << 20);
+    EXPECT_EQ(mem.materializedPages(), 0u);
+    std::uint8_t buf[64] = {};
+    mem.read(100 << 20, buf, sizeof(buf)); // reads don't materialize
+    EXPECT_EQ(mem.materializedPages(), 0u);
+    mem.store<std::uint32_t>(100 << 20, 7);
+    EXPECT_EQ(mem.materializedPages(), 1u);
+}
+
+TEST(SimMemory, ZeroRange)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(256);
+    mem.store<std::uint64_t>(a + 8, 42);
+    mem.zero(a, 256);
+    EXPECT_EQ(mem.load<std::uint64_t>(a + 8), 0u);
+}
+
+TEST(SimMemory, EqualsComparesAgainstHostBuffer)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(512);
+    std::uint8_t data[300];
+    for (std::size_t i = 0; i < sizeof(data); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    mem.write(a, data, sizeof(data));
+    EXPECT_TRUE(mem.equals(a, data, sizeof(data)));
+    data[299] ^= 0xff;
+    EXPECT_FALSE(mem.equals(a, data, sizeof(data)));
+}
+
+TEST(SimMemory, ExhaustionIsFatal)
+{
+    SimMemory mem(4096);
+    EXPECT_THROW(mem.allocate(1 << 20), FatalError);
+}
+
+} // namespace
+} // namespace halo

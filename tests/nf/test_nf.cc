@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the modeled network functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/halo_system.hh"
+#include "cpu/core_model.hh"
+#include "nf/acl.hh"
+#include "nf/mtcp_lite.hh"
+#include "nf/nat.hh"
+#include "nf/packet_filter.hh"
+#include "nf/prads.hh"
+#include "nf/snort_lite.hh"
+
+namespace halo {
+namespace {
+
+struct NfRig
+{
+    SimMemory mem{512ull << 20};
+    MemoryHierarchy hier;
+    HaloSystem halo{mem, hier};
+    CoreModel core{hier, 0};
+
+    NfRig() { core.setLookupEngine(&halo); }
+
+    static ParsedHeaders
+    headersFor(const FiveTuple &t)
+    {
+        return *Packet::fromTuple(t).parseHeaders();
+    }
+
+    static FiveTuple
+    tuple(std::uint32_t i, IpProto proto = IpProto::Udp)
+    {
+        FiveTuple t;
+        t.srcIp = 0x0a000000 + i;
+        t.dstIp = 0x0a100000 + i * 7;
+        t.srcPort = static_cast<std::uint16_t>(1024 + (i % 60000));
+        t.dstPort = 80;
+        t.proto = static_cast<std::uint8_t>(proto);
+        return t;
+    }
+};
+
+TEST(Nat, AllocatesThenTranslates)
+{
+    NfRig rig;
+    NatFunction nat(rig.mem, rig.hier, {1000, NfEngine::Software,
+                                        0xc6336401});
+    OpTrace ops;
+    const auto t = NfRig::tuple(1);
+    nat.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    EXPECT_EQ(nat.bindingsAllocated(), 1u);
+    EXPECT_EQ(nat.translationHits(), 0u);
+    nat.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    EXPECT_EQ(nat.translationHits(), 1u);
+    EXPECT_EQ(nat.bindingsAllocated(), 1u);
+}
+
+TEST(Nat, DistinctFlowsGetDistinctBindings)
+{
+    NfRig rig;
+    NatFunction nat(rig.mem, rig.hier, {1000, NfEngine::Software,
+                                        0xc6336401});
+    OpTrace ops;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        const auto t = NfRig::tuple(i);
+        nat.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    }
+    EXPECT_EQ(nat.bindingsAllocated(), 100u);
+    EXPECT_EQ(nat.translationTable().size(), 100u);
+}
+
+TEST(Nat, HaloEngineProducesSameFunctionalState)
+{
+    NfRig rig;
+    NatFunction sw(rig.mem, rig.hier, {1000, NfEngine::Software,
+                                       0xc6336401});
+    NatFunction hw(rig.mem, rig.hier, {1000, NfEngine::Halo,
+                                       0xc6336401});
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        const auto t = NfRig::tuple(i % 10);
+        OpTrace a, b;
+        sw.process(NfRig::headersFor(t), Packet::fromTuple(t), a);
+        hw.process(NfRig::headersFor(t), Packet::fromTuple(t), b);
+        // The HALO trace is dominated by the single LOOKUP_B.
+        EXPECT_LT(b.size(), a.size());
+    }
+    EXPECT_EQ(sw.translationHits(), hw.translationHits());
+    EXPECT_EQ(sw.bindingsAllocated(), hw.bindingsAllocated());
+}
+
+TEST(Filter, DropsExactlyTheRuledFlows)
+{
+    NfRig rig;
+    PacketFilter filter(rig.mem, rig.hier,
+                        {100, NfEngine::Software, 1});
+    filter.addRule(NfRig::tuple(1));
+    filter.addRule(NfRig::tuple(3));
+    OpTrace ops;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        const auto t = NfRig::tuple(i);
+        filter.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    }
+    EXPECT_EQ(filter.dropped(), 2u);
+    EXPECT_EQ(filter.passed(), 4u);
+}
+
+TEST(Prads, DiscoversThenUpdates)
+{
+    NfRig rig;
+    PradsLite prads(rig.mem, rig.hier, {1000, NfEngine::Software});
+    OpTrace ops;
+    const auto t = NfRig::tuple(5);
+    prads.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    prads.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    prads.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    EXPECT_EQ(prads.assetsDiscovered(), 1u);
+    EXPECT_EQ(prads.sightingUpdates(), 2u);
+}
+
+TEST(Acl, MatchesPrefixAndQualifiers)
+{
+    NfRig rig;
+    AclFunction acl(rig.mem, rig.hier);
+    AclRule deny;
+    deny.dstPrefix = 0x0a100000;
+    deny.prefixLen = 16;
+    deny.anyPort = true;
+    deny.anyProto = true;
+    deny.permit = false;
+    deny.priority = 50;
+    acl.addRule(deny);
+    AclRule route;
+    route.prefixLen = 0;
+    route.permit = true;
+    route.priority = 1;
+    acl.addRule(route);
+    acl.build();
+
+    FiveTuple hit;
+    hit.dstIp = 0x0a10beef;
+    FiveTuple miss;
+    miss.dstIp = 0x0b000001;
+    const auto m1 = acl.match(hit);
+    ASSERT_TRUE(m1.has_value());
+    EXPECT_FALSE(m1->permit);
+    const auto m2 = acl.match(miss);
+    ASSERT_TRUE(m2.has_value());
+    EXPECT_TRUE(m2->permit); // default route
+}
+
+TEST(Acl, PortQualifierFiltersCandidates)
+{
+    NfRig rig;
+    AclFunction acl(rig.mem, rig.hier);
+    AclRule deny80;
+    deny80.dstPrefix = 0x0a000000;
+    deny80.prefixLen = 8;
+    deny80.anyPort = false;
+    deny80.dstPort = 80;
+    deny80.permit = false;
+    deny80.priority = 10;
+    acl.addRule(deny80);
+    acl.build();
+
+    FiveTuple web, dns;
+    web.dstIp = dns.dstIp = 0x0a010101;
+    web.dstPort = 80;
+    dns.dstPort = 53;
+    EXPECT_TRUE(acl.match(web).has_value());
+    EXPECT_FALSE(acl.match(dns).has_value());
+}
+
+TEST(Acl, ProcessCountsVerdictsAndEmitsDependentWalk)
+{
+    NfRig rig;
+    AclFunction acl(rig.mem, rig.hier);
+    acl.populateFrom({NfRig::tuple(0), NfRig::tuple(1)}, 2, 42);
+    acl.build();
+    OpTrace ops;
+    const auto t = NfRig::tuple(0);
+    acl.process(NfRig::headersFor(t), Packet::fromTuple(t), ops);
+    EXPECT_EQ(acl.permits() + acl.denies(), 1u);
+    // The walk must contain chained loads (dep >= 0).
+    bool chained = false;
+    for (const MicroOp &op : ops)
+        chained |= op.kind == OpKind::Load && op.dep >= 0;
+    EXPECT_TRUE(chained);
+}
+
+TEST(Snort, FindsPlantedPatterns)
+{
+    NfRig rig;
+    SnortLite snort(rig.mem, rig.hier);
+    snort.addDefaultPatterns();
+    snort.build();
+    EXPECT_GT(snort.states(), 20u);
+
+    const std::string payload = "GET /bin/sh?cmd=<script>alert</script>";
+    const auto *bytes =
+        reinterpret_cast<const std::uint8_t *>(payload.data());
+    EXPECT_GE(snort.scan(std::span<const std::uint8_t>(
+                  bytes, payload.size())),
+              2u); // "/bin/sh" and "<script>"
+
+    const std::string clean = "totally ordinary text";
+    const auto *cbytes =
+        reinterpret_cast<const std::uint8_t *>(clean.data());
+    EXPECT_EQ(snort.scan(std::span<const std::uint8_t>(cbytes,
+                                                       clean.size())),
+              0u);
+}
+
+TEST(Snort, OverlappingPatternsAllCounted)
+{
+    NfRig rig;
+    SnortLite snort(rig.mem, rig.hier);
+    snort.addPattern("abab");
+    snort.addPattern("bab");
+    snort.build();
+    const std::string s = "xababx";
+    const auto *b = reinterpret_cast<const std::uint8_t *>(s.data());
+    EXPECT_EQ(snort.scan(std::span<const std::uint8_t>(b, s.size())),
+              2u);
+}
+
+TEST(Snort, ProcessScansPayload)
+{
+    NfRig rig;
+    SnortLite snort(rig.mem, rig.hier);
+    snort.addDefaultPatterns();
+    snort.build();
+    FiveTuple t = NfRig::tuple(1);
+    Packet pkt = Packet::fromTuple(t, 32);
+    // Plant a pattern in the payload.
+    const std::string evil = "/bin/sh";
+    std::copy(evil.begin(), evil.end(), pkt.bytes().end() - 20);
+    OpTrace ops;
+    snort.process(*pkt.parseHeaders(), pkt, ops);
+    EXPECT_GE(snort.alerts(), 1u);
+    EXPECT_GT(ops.size(), 50u); // per-byte automaton walk
+}
+
+TEST(Mtcp, ConnectionLifecycle)
+{
+    NfRig rig;
+    MtcpLite mtcp(rig.mem, rig.hier, {1024, NfEngine::Software});
+    FiveTuple t = NfRig::tuple(9, IpProto::Tcp);
+
+    auto packetWithFlags = [&](std::uint8_t flags) {
+        Packet pkt = Packet::fromTuple(t);
+        TcpHeader tcp;
+        tcp.srcPort = t.srcPort;
+        tcp.dstPort = t.dstPort;
+        tcp.flags = flags;
+        tcp.serialize(pkt.bytes().data() + EthernetHeader::wireBytes +
+                      Ipv4Header::wireBytes);
+        return pkt;
+    };
+
+    OpTrace ops;
+    // Data before SYN: ignored.
+    Packet data = packetWithFlags(tcpAck);
+    mtcp.process(*data.parseHeaders(), data, ops);
+    EXPECT_EQ(mtcp.connectionsOpen(), 0u);
+    // SYN opens.
+    Packet syn = packetWithFlags(tcpSyn);
+    mtcp.process(*syn.parseHeaders(), syn, ops);
+    EXPECT_EQ(mtcp.connectionsOpen(), 1u);
+    EXPECT_EQ(mtcp.connectionsAccepted(), 1u);
+    // Data flows.
+    mtcp.process(*data.parseHeaders(), data, ops);
+    mtcp.process(*data.parseHeaders(), data, ops);
+    // FIN closes.
+    Packet fin = packetWithFlags(tcpFin | tcpAck);
+    mtcp.process(*fin.parseHeaders(), fin, ops);
+    EXPECT_EQ(mtcp.connectionsOpen(), 0u);
+    EXPECT_EQ(mtcp.connectionsClosed(), 1u);
+}
+
+TEST(Mtcp, NonTcpTrafficIgnored)
+{
+    NfRig rig;
+    MtcpLite mtcp(rig.mem, rig.hier, {1024, NfEngine::Software});
+    FiveTuple t = NfRig::tuple(2, IpProto::Udp);
+    Packet pkt = Packet::fromTuple(t);
+    OpTrace ops;
+    mtcp.process(*pkt.parseHeaders(), pkt, ops);
+    EXPECT_EQ(mtcp.connectionsOpen(), 0u);
+    EXPECT_TRUE(ops.empty());
+}
+
+TEST(AllNfs, FootprintsAndWarmup)
+{
+    NfRig rig;
+    NatFunction nat(rig.mem, rig.hier, {1000, NfEngine::Software, 1});
+    PacketFilter filter(rig.mem, rig.hier, {100, NfEngine::Software, 2});
+    PradsLite prads(rig.mem, rig.hier, {1000, NfEngine::Software});
+    MtcpLite mtcp(rig.mem, rig.hier, {1024, NfEngine::Software});
+    AclFunction acl(rig.mem, rig.hier);
+    acl.populateFrom({NfRig::tuple(0)}, 1, 1);
+    acl.build();
+    SnortLite snort(rig.mem, rig.hier);
+    snort.addDefaultPatterns();
+    snort.build();
+
+    for (NetworkFunction *nf :
+         std::initializer_list<NetworkFunction *>{
+             &nat, &filter, &prads, &mtcp, &acl, &snort}) {
+        EXPECT_GT(nf->footprintBytes(), 0u) << nf->name();
+        nf->warm(); // must not throw
+    }
+}
+
+} // namespace
+} // namespace halo

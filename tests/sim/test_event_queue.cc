@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace halo {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(15, [&] { ++fired; });
+    q.run(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 4)
+            q.scheduleIn(10, step);
+    };
+    q.schedule(0, step);
+    q.run();
+    EXPECT_EQ(chain, 4);
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto ticket = q.schedule(5, [&] { ++fired; });
+    q.schedule(6, [&] { ++fired; });
+    q.cancel(ticket);
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, AdvanceToMovesClock)
+{
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_THROW(q.advanceTo(50), PanicError);
+}
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNGs and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hh"
+
+namespace halo {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro256, DeterministicForSeed)
+{
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange)
+{
+    Xoshiro256 rng(123);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Xoshiro256, BoundedCoversRange)
+{
+    Xoshiro256 rng(99);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        ++seen[rng.nextBounded(8)];
+    EXPECT_EQ(seen.size(), 8u);
+    // Roughly uniform: every bucket within 3x of the mean.
+    for (const auto &kv : seen) {
+        EXPECT_GT(kv.second, 5000 / 8 / 3);
+        EXPECT_LT(kv.second, 5000 / 8 * 3);
+    }
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Zipf, UniformWhenSkewZero)
+{
+    Xoshiro256 rng(11);
+    ZipfDistribution zipf(10, 0.0);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (const auto &kv : counts) {
+        EXPECT_GT(kv.second, 1000);
+        EXPECT_LT(kv.second, 4000);
+    }
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Xoshiro256 rng(13);
+    ZipfDistribution zipf(1000, 0.99);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::size_t rank = zipf.sample(rng);
+        if (rank < 10)
+            ++low;
+        if (rank >= 500)
+            ++high;
+    }
+    EXPECT_GT(low, high * 3);
+}
+
+TEST(Zipf, SampleInRange)
+{
+    Xoshiro256 rng(17);
+    ZipfDistribution zipf(64, 1.2);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 64u);
+}
+
+TEST(Zipf, RejectsEmptyPopulation)
+{
+    EXPECT_THROW(ZipfDistribution(0, 1.0), PanicError);
+}
+
+} // namespace
+} // namespace halo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the statistics framework and type helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace halo {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(6.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(-1.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(StatGroup, RegisterAndRead)
+{
+    StatGroup g("test");
+    ++g.counter("hits");
+    g.counter("hits") += 2;
+    EXPECT_EQ(g.counterValue("hits"), 3u);
+    EXPECT_TRUE(g.hasCounter("hits"));
+    EXPECT_FALSE(g.hasCounter("misses"));
+    EXPECT_THROW(g.counterValue("misses"), PanicError);
+}
+
+TEST(StatGroup, DumpContainsEntries)
+{
+    StatGroup g("grp");
+    g.counter("x") += 7;
+    g.average("y").sample(3.0);
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("grp.x 7"), std::string::npos);
+    EXPECT_NE(dump.find("grp.y.mean 3"), std::string::npos);
+}
+
+TEST(StatGroup, ResetClearsAll)
+{
+    StatGroup g("r");
+    g.counter("c") += 4;
+    g.average("a").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counterValue("c"), 0u);
+    EXPECT_EQ(g.average("a").samples(), 0u);
+}
+
+TEST(Types, LineAlignment)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(130), 128u);
+    EXPECT_TRUE(isLineAligned(128));
+    EXPECT_FALSE(isLineAligned(129));
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(5), 8u);
+    EXPECT_EQ(nextPowerOfTwo(4096), 4096u);
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+}
+
+} // namespace
+} // namespace halo
