@@ -161,9 +161,11 @@ HaloAccelerator::runHashLookup(const TableMetadata &md, Addr key_addr,
         now += cfg.sigCompareCycles;
         result.breakdown.compute += cfg.sigCompareCycles;
 
+        const std::uint8_t *line = mem.lineView(bline).data();
         for (unsigned way = 0; way < entriesPerBucket; ++way) {
-            const auto entry = mem.load<BucketEntry>(
-                bucketEntryAddr(md, bucket, way));
+            BucketEntry entry;
+            std::memcpy(&entry, line + way * bucketEntryBytes,
+                        sizeof(entry));
             if (entry.kvRef == 0 || entry.sig != sig)
                 continue;
 
@@ -181,11 +183,18 @@ HaloAccelerator::runHashLookup(const TableMetadata &md, Addr key_addr,
             now += acquireLock(lineAlign(slot_addr), result.breakdown);
             locked.push_back(lineAlign(slot_addr));
 
-            std::uint8_t stored[64];
-            mem.read(slot_addr + kvKeyOffset, stored, md.keyLen);
             now += key_cmp;
             result.breakdown.compute += key_cmp;
-            if (std::equal(key, key + md.keyLen, stored)) {
+            bool key_equal;
+            if (const std::uint8_t *stored =
+                    mem.rangeView(slot_addr + kvKeyOffset, md.keyLen)) {
+                key_equal = std::memcmp(key, stored, md.keyLen) == 0;
+            } else {
+                std::uint8_t stored_buf[64];
+                mem.read(slot_addr + kvKeyOffset, stored_buf, md.keyLen);
+                key_equal = std::memcmp(key, stored_buf, md.keyLen) == 0;
+            }
+            if (key_equal) {
                 result.found = true;
                 result.value = mem.load<std::uint64_t>(slot_addr +
                                                        kvValueOffset);

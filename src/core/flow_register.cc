@@ -1,34 +1,30 @@
 #include "core/flow_register.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "sim/types.hh"
 
 namespace halo {
 
 FlowRegister::FlowRegister(unsigned bits_)
 {
     HALO_ASSERT(bits_ >= 1, "flow register needs at least one bit");
-    bits.assign(bits_, false);
-}
-
-void
-FlowRegister::observe(std::uint64_t hash)
-{
-    bits[hash % bits.size()] = true;
+    numBits = bits_;
+    sizeIsPow2 = isPowerOfTwo(numBits);
+    words.assign((numBits + 63) / 64, 0);
 }
 
 unsigned
 FlowRegister::unsetBits() const
 {
-    unsigned unset = 0;
-    for (bool b : bits)
-        unset += b ? 0 : 1;
-    return unset;
+    return static_cast<unsigned>(numBits) - setCount;
 }
 
 double
 FlowRegister::estimate() const
 {
-    const auto m = static_cast<double>(bits.size());
+    const auto m = static_cast<double>(numBits);
     const unsigned u = unsetBits();
     if (u == 0)
         return saturationBound();
@@ -40,7 +36,7 @@ FlowRegister::saturationBound() const
 {
     // The estimate with a single unset bit: beyond this the register
     // cannot distinguish flow counts.
-    const auto m = static_cast<double>(bits.size());
+    const auto m = static_cast<double>(numBits);
     return m * std::log(m);
 }
 
@@ -55,7 +51,8 @@ FlowRegister::scanAndReset()
 void
 FlowRegister::reset()
 {
-    bits.assign(bits.size(), false);
+    std::fill(words.begin(), words.end(), 0);
+    setCount = 0;
 }
 
 } // namespace halo

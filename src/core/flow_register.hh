@@ -23,7 +23,10 @@
 namespace halo {
 
 /** Hardware flow register: per-CHA in real hardware, one shared instance
- *  in the model (the paper's estimate is socket-wide). */
+ *  in the model (the paper's estimate is socket-wide). The bit array is
+ *  packed into 64-bit words and the set-bit population is maintained
+ *  incrementally, so observe() — on the per-packet path in software and
+ *  hybrid modes — and the window-close estimate are both O(1). */
 class FlowRegister
 {
   public:
@@ -31,7 +34,16 @@ class FlowRegister
     explicit FlowRegister(unsigned bits = 32);
 
     /** Record a query whose primary hash is @p hash. */
-    void observe(std::uint64_t hash);
+    void
+    observe(std::uint64_t hash)
+    {
+        const std::uint64_t idx =
+            sizeIsPow2 ? (hash & (numBits - 1)) : (hash % numBits);
+        std::uint64_t &word = words[idx >> 6];
+        const std::uint64_t mask = 1ull << (idx & 63);
+        setCount += (word & mask) == 0 ? 1u : 0u;
+        word |= mask;
+    }
 
     /** Number of unset bits right now. */
     unsigned unsetBits() const;
@@ -49,13 +61,16 @@ class FlowRegister
     /** Clear all bits. */
     void reset();
 
-    unsigned size() const { return static_cast<unsigned>(bits.size()); }
+    unsigned size() const { return static_cast<unsigned>(numBits); }
 
     /** Largest estimate the register can report before saturating. */
     double saturationBound() const;
 
   private:
-    std::vector<bool> bits;
+    std::vector<std::uint64_t> words; ///< packed bit array
+    std::uint64_t numBits = 0;
+    unsigned setCount = 0; ///< bits currently set (maintained inline)
+    bool sizeIsPow2 = false;
 };
 
 } // namespace halo

@@ -50,6 +50,10 @@ TraceBuilder::lowerTableOp(const AccessTrace &refs, OpTrace &out) const
     const unsigned target =
         has_write ? profile.targetTotal + profile.targetTotal / 3
                   : profile.targetTotal;
+    // The profile budget bounds the op count: reserve once so the hot
+    // path never grows the vector mid-lowering.
+    out.reserve(out.size() + target + real_loads + real_stores +
+                2 * refs.size());
     auto budget = [&](double frac) {
         return static_cast<unsigned>(frac * static_cast<double>(target) +
                                      0.5);

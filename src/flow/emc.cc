@@ -1,5 +1,7 @@
 #include "flow/emc.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace halo {
@@ -48,12 +50,22 @@ ExactMatchCache::lookup(
         const Addr slot = slotAddr(idx[probe]);
         recordRef(trace, slot, slotBytes, false, AccessPhase::Bucket,
                   probe == 0);
-        if (mem.load<std::uint32_t>(slot + genOffset) != generation)
+        // Slots are 32 B within line-aligned storage, so a slot never
+        // straddles a page and the view is always direct.
+        const std::uint8_t *view = mem.rangeView(slot, slotBytes);
+        HALO_ASSERT(view, "EMC slot straddles a page");
+        std::uint32_t slot_gen, slot_sig;
+        std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
+        if (slot_gen != generation)
             continue;
-        if (mem.load<std::uint32_t>(slot + sigOffset) != sig)
+        std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
+        if (slot_sig != sig)
             continue;
-        if (mem.equals(slot + keyOffset, key.data(), key.size()))
-            return mem.load<std::uint64_t>(slot + valueOffset);
+        if (std::memcmp(view + keyOffset, key.data(), key.size()) == 0) {
+            std::uint64_t value;
+            std::memcpy(&value, view + valueOffset, sizeof(value));
+            return value;
+        }
         if (idx[0] == idx[1])
             break;
     }

@@ -46,10 +46,10 @@ TupleSpace::lookupFirst(std::span<const std::uint8_t> key,
     HALO_ASSERT(key.size() == FiveTuple::keyBytes);
     unsigned searched = 0;
     for (unsigned i = 0; i < tuples.size(); ++i) {
-        const auto masked = tuples[i]->mask.apply(key);
+        tuples[i]->mask.applyInto(key, maskScratch.data());
         ++searched;
         if (auto value = tuples[i]->table.lookup(
-                KeyView(masked.data(), masked.size()), trace)) {
+                KeyView(maskScratch.data(), maskScratch.size()), trace)) {
             TupleMatch match;
             match.value = *value;
             match.priority = decodeRulePriority(*value);
@@ -68,9 +68,9 @@ TupleSpace::lookupBest(std::span<const std::uint8_t> key,
     HALO_ASSERT(key.size() == FiveTuple::keyBytes);
     std::optional<TupleMatch> best;
     for (unsigned i = 0; i < tuples.size(); ++i) {
-        const auto masked = tuples[i]->mask.apply(key);
+        tuples[i]->mask.applyInto(key, maskScratch.data());
         if (auto value = tuples[i]->table.lookup(
-                KeyView(masked.data(), masked.size()), trace)) {
+                KeyView(maskScratch.data(), maskScratch.size()), trace)) {
             const std::uint16_t prio = decodeRulePriority(*value);
             if (!best || prio > best->priority) {
                 best = TupleMatch{*value, prio, i, 0};

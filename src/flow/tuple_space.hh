@@ -110,6 +110,9 @@ class TupleSpace
     SimMemory &mem;
     Config cfg;
     std::vector<std::unique_ptr<Tuple>> tuples;
+    /// Masked-key scratch reused across tuple probes (no per-probe
+    /// buffer; lookups stay logically const).
+    mutable std::array<std::uint8_t, FiveTuple::keyBytes> maskScratch{};
 };
 
 } // namespace halo

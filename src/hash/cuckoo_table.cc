@@ -1,6 +1,8 @@
 #include "hash/cuckoo_table.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <deque>
 
 #include "sim/logging.hh"
@@ -57,10 +59,40 @@ CuckooHashTable::primaryBucket(KeyView key, std::uint32_t &sig) const
     return h & md.bucketMask;
 }
 
+const std::uint8_t *
+CuckooHashTable::bucketLine(std::uint64_t bucket) const
+{
+    return mem.lineView(bucketAddr(md, bucket)).data();
+}
+
+BucketEntry
+CuckooHashTable::entryIn(const std::uint8_t *line, unsigned way)
+{
+    BucketEntry entry;
+    std::memcpy(&entry, line + way * bucketEntryBytes, sizeof(entry));
+    return entry;
+}
+
+unsigned
+CuckooHashTable::sigMatchMask(const std::uint8_t *line, std::uint32_t sig)
+{
+    // Branchless over all 8 ways: the per-way occupied/signature branch
+    // of the naive scan is data-dependent random on big tables, and the
+    // resulting mispredicts serialize the lookup's memory chain.
+    unsigned mask = 0;
+    for (unsigned way = 0; way < entriesPerBucket; ++way) {
+        const BucketEntry entry = entryIn(line, way);
+        mask |= static_cast<unsigned>((entry.kvRef != 0) &
+                                      (entry.sig == sig))
+                << way;
+    }
+    return mask;
+}
+
 BucketEntry
 CuckooHashTable::readEntry(std::uint64_t bucket, unsigned way) const
 {
-    return mem.load<BucketEntry>(bucketEntryAddr(md, bucket, way));
+    return entryIn(bucketLine(bucket), way);
 }
 
 void
@@ -70,12 +102,38 @@ CuckooHashTable::writeEntry(std::uint64_t bucket, unsigned way,
     mem.store(bucketEntryAddr(md, bucket, way), entry);
 }
 
+namespace {
+
+/** memcmp with a runtime length is a real library call; the canonical
+ *  16-byte flow key deserves two inline word compares instead. */
+inline bool
+bytesEqual(const std::uint8_t *a, const std::uint8_t *b,
+           std::uint32_t len)
+{
+    if (len == 16) [[likely]] {
+        std::uint64_t a0, a1, b0, b1;
+        std::memcpy(&a0, a, 8);
+        std::memcpy(&a1, a + 8, 8);
+        std::memcpy(&b0, b, 8);
+        std::memcpy(&b1, b + 8, 8);
+        return ((a0 ^ b0) | (a1 ^ b1)) == 0;
+    }
+    return std::memcmp(a, b, len) == 0;
+}
+
+} // namespace
+
 bool
 CuckooHashTable::keyMatches(std::uint32_t slot, KeyView key) const
 {
+    const Addr key_src = kvSlotAddr(md, slot) + kvKeyOffset;
+    // KV slots are packed, so a slot occasionally straddles a page; only
+    // then pay a bounce-buffer copy.
+    if (const std::uint8_t *stored = mem.rangeView(key_src, md.keyLen))
+        return bytesEqual(key.data(), stored, md.keyLen);
     std::uint8_t stored[64];
-    mem.read(kvSlotAddr(md, slot) + kvKeyOffset, stored, md.keyLen);
-    return std::equal(key.begin(), key.end(), stored);
+    mem.read(key_src, stored, md.keyLen);
+    return bytesEqual(key.data(), stored, md.keyLen);
 }
 
 std::optional<CuckooHashTable::Located>
@@ -83,11 +141,52 @@ CuckooHashTable::find(KeyView key, std::uint32_t sig, std::uint64_t b1,
                       std::uint64_t b2) const
 {
     for (std::uint64_t bucket : {b1, b2}) {
-        for (unsigned way = 0; way < entriesPerBucket; ++way) {
-            const BucketEntry entry = readEntry(bucket, way);
-            if (entry.kvRef != 0 && entry.sig == sig &&
-                keyMatches(entry.kvRef - 1, key)) {
+        const std::uint8_t *line = bucketLine(bucket);
+        for (unsigned mask = sigMatchMask(line, sig); mask;
+             mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryIn(line, way);
+            if (keyMatches(entry.kvRef - 1, key))
                 return Located{bucket, way, entry.kvRef - 1};
+        }
+        if (b1 == b2)
+            break;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+CuckooHashTable::lookupUntraced(KeyView key) const
+{
+    // The recording path below stays the reference implementation; this
+    // branch-free replica of it runs when no trace is requested — the
+    // steady-state case for warmed tables — and returns byte-identical
+    // results while skipping all recording bookkeeping.
+    std::uint32_t sig = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+    for (std::uint64_t bucket : {b1, b2}) {
+        const std::uint8_t *line = bucketLine(bucket);
+        for (unsigned mask = sigMatchMask(line, sig); mask;
+             mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryIn(line, way);
+            // One view over the whole kv slot serves both the key
+            // compare and the value fetch.
+            const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+            const std::uint8_t *slot =
+                mem.rangeView(slot_addr, md.kvSlotBytes);
+            std::uint8_t bounce[8 + 64];
+            if (!slot) [[unlikely]] { // slot straddles a page
+                mem.read(slot_addr, bounce, md.kvSlotBytes);
+                slot = bounce;
+            }
+            if (bytesEqual(key.data(), slot + kvKeyOffset, md.keyLen)) {
+                std::uint64_t value;
+                std::memcpy(&value, slot + kvValueOffset, sizeof(value));
+                return value;
             }
         }
         if (b1 == b2)
@@ -101,6 +200,9 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
                         Addr key_addr) const
 {
     HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
+
+    if (!trace)
+        return lookupUntraced(key);
 
     // Metadata is consulted first (hot in L1 for the software path).
     recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
@@ -126,34 +228,38 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
     if (trace)
         trace->back().lowEntropyBranch = low_entropy;
     std::optional<Located> loc;
-    for (unsigned way = 0; way < entriesPerBucket && !loc; ++way) {
-        const BucketEntry entry = readEntry(b1, way);
-        if (entry.kvRef != 0 && entry.sig == sig) {
-            recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
-                      static_cast<std::uint16_t>(md.kvSlotBytes), false,
-                      AccessPhase::KeyValue, /*depends=*/true);
-            if (trace)
-                trace->back().lowEntropyBranch = low_entropy;
-            if (keyMatches(entry.kvRef - 1, key))
-                loc = Located{b1, way, entry.kvRef - 1};
-        }
+    const std::uint8_t *line = bucketLine(b1);
+    for (unsigned mask = sigMatchMask(line, sig); mask && !loc;
+         mask &= mask - 1) {
+        const unsigned way =
+            static_cast<unsigned>(std::countr_zero(mask));
+        const BucketEntry entry = entryIn(line, way);
+        recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
+                  static_cast<std::uint16_t>(md.kvSlotBytes), false,
+                  AccessPhase::KeyValue, /*depends=*/true);
+        if (trace)
+            trace->back().lowEntropyBranch = low_entropy;
+        if (keyMatches(entry.kvRef - 1, key))
+            loc = Located{b1, way, entry.kvRef - 1};
     }
     if (!loc && b2 != b1) {
         recordRef(trace, bucketAddr(md, b2), cacheLineBytes, false,
                   AccessPhase::Bucket, /*depends=*/false);
         if (trace)
             trace->back().lowEntropyBranch = low_entropy;
-        for (unsigned way = 0; way < entriesPerBucket && !loc; ++way) {
-            const BucketEntry entry = readEntry(b2, way);
-            if (entry.kvRef != 0 && entry.sig == sig) {
-                recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
-                          static_cast<std::uint16_t>(md.kvSlotBytes),
-                          false, AccessPhase::KeyValue, /*depends=*/true);
-                if (trace)
-                    trace->back().lowEntropyBranch = low_entropy;
-                if (keyMatches(entry.kvRef - 1, key))
-                    loc = Located{b2, way, entry.kvRef - 1};
-            }
+        line = bucketLine(b2);
+        for (unsigned mask = sigMatchMask(line, sig); mask && !loc;
+             mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryIn(line, way);
+            recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
+                      static_cast<std::uint16_t>(md.kvSlotBytes), false,
+                      AccessPhase::KeyValue, /*depends=*/true);
+            if (trace)
+                trace->back().lowEntropyBranch = low_entropy;
+            if (keyMatches(entry.kvRef - 1, key))
+                loc = Located{b2, way, entry.kvRef - 1};
         }
     }
 

@@ -125,12 +125,22 @@ class CuckooHashTable
     };
 
     std::uint64_t primaryBucket(KeyView key, std::uint32_t &sig) const;
+    /** Zero-copy host view of a bucket's cache line. */
+    const std::uint8_t *bucketLine(std::uint64_t bucket) const;
+    /** Decode entry @p way out of a bucket-line view. */
+    static BucketEntry entryIn(const std::uint8_t *line, unsigned way);
+    /** Bit @p way set when that entry is occupied with signature
+     *  @p sig; computed branchlessly over the whole bucket line. */
+    static unsigned sigMatchMask(const std::uint8_t *line,
+                                 std::uint32_t sig);
     BucketEntry readEntry(std::uint64_t bucket, unsigned way) const;
     void writeEntry(std::uint64_t bucket, unsigned way,
                     const BucketEntry &entry);
     bool keyMatches(std::uint32_t slot, KeyView key) const;
     std::optional<Located> find(KeyView key, std::uint32_t sig,
                                 std::uint64_t b1, std::uint64_t b2) const;
+    /** Recording-free lookup used when no trace is requested. */
+    std::optional<std::uint64_t> lookupUntraced(KeyView key) const;
 
     /** BFS for a displacement path ending in a free slot. */
     bool makeRoom(std::uint64_t bucket, AccessTrace *trace);

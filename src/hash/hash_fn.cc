@@ -52,38 +52,8 @@ jenkinsOaat(std::span<const std::uint8_t> data, std::uint32_t seed)
 }
 
 std::uint64_t
-xxMix(std::span<const std::uint8_t> data, std::uint64_t seed)
-{
-    constexpr std::uint64_t prime1 = 0x9e3779b185ebca87ull;
-    constexpr std::uint64_t prime2 = 0xc2b2ae3d27d4eb4full;
-    std::uint64_t h = seed ^ (data.size() * prime1);
-    std::size_t i = 0;
-    while (i + 8 <= data.size()) {
-        std::uint64_t word = 0;
-        for (int b = 0; b < 8; ++b)
-            word |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
-        h ^= word * prime2;
-        h = (h << 31) | (h >> 33);
-        h *= prime1;
-        i += 8;
-    }
-    while (i < data.size()) {
-        h ^= static_cast<std::uint64_t>(data[i]) * prime1;
-        h = (h << 11) | (h >> 53);
-        h *= prime2;
-        ++i;
-    }
-    h ^= h >> 33;
-    h *= prime2;
-    h ^= h >> 29;
-    h *= prime1;
-    h ^= h >> 32;
-    return h;
-}
-
-std::uint64_t
-hashBytes(HashKind kind, std::uint64_t seed,
-          std::span<const std::uint8_t> data)
+hashBytesSlow(HashKind kind, std::uint64_t seed,
+              std::span<const std::uint8_t> data)
 {
     switch (kind) {
       case HashKind::Crc32c: {

@@ -11,7 +11,9 @@
 #ifndef HALO_HASH_HASH_FN_HH
 #define HALO_HASH_HASH_FN_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace halo {
@@ -36,13 +38,60 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data,
 std::uint32_t jenkinsOaat(std::span<const std::uint8_t> data,
                           std::uint32_t seed);
 
-/** xxhash-style word mix. */
-std::uint64_t xxMix(std::span<const std::uint8_t> data,
-                    std::uint64_t seed);
+/**
+ * xxhash-style word mix. Inline: this is the default table hash and sits
+ * on the critical path of every lookup the simulator executes, so the
+ * call must vanish and word assembly must compile to one 8-byte load
+ * (digests are defined by the little-endian byte order either way).
+ */
+inline std::uint64_t
+xxMix(std::span<const std::uint8_t> data, std::uint64_t seed)
+{
+    constexpr std::uint64_t prime1 = 0x9e3779b185ebca87ull;
+    constexpr std::uint64_t prime2 = 0xc2b2ae3d27d4eb4full;
+    std::uint64_t h = seed ^ (data.size() * prime1);
+    std::size_t i = 0;
+    while (i + 8 <= data.size()) {
+        std::uint64_t word;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&word, data.data() + i, 8);
+        } else {
+            word = 0;
+            for (int b = 0; b < 8; ++b)
+                word |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+        }
+        h ^= word * prime2;
+        h = (h << 31) | (h >> 33);
+        h *= prime1;
+        i += 8;
+    }
+    while (i < data.size()) {
+        h ^= static_cast<std::uint64_t>(data[i]) * prime1;
+        h = (h << 11) | (h >> 53);
+        h *= prime2;
+        ++i;
+    }
+    h ^= h >> 33;
+    h *= prime2;
+    h ^= h >> 29;
+    h *= prime1;
+    h ^= h >> 32;
+    return h;
+}
+
+/** Out-of-line dispatch for the table-driven kinds. */
+std::uint64_t hashBytesSlow(HashKind kind, std::uint64_t seed,
+                            std::span<const std::uint8_t> data);
 
 /** Dispatch on HashKind; always returns a 64-bit digest. */
-std::uint64_t hashBytes(HashKind kind, std::uint64_t seed,
-                        std::span<const std::uint8_t> data);
+inline std::uint64_t
+hashBytes(HashKind kind, std::uint64_t seed,
+          std::span<const std::uint8_t> data)
+{
+    if (kind == HashKind::XxMix) [[likely]]
+        return xxMix(data, seed);
+    return hashBytesSlow(kind, seed, data);
+}
 
 /**
  * Short signature derived from the primary hash, stored in bucket

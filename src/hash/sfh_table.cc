@@ -1,6 +1,7 @@
 #include "hash/sfh_table.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -60,9 +61,12 @@ SingleFunctionTable::readEntry(std::uint64_t bucket, unsigned way) const
 bool
 SingleFunctionTable::keyMatches(std::uint32_t slot, KeyView key) const
 {
+    const Addr key_src = kvSlotAddr(md, slot) + kvKeyOffset;
+    if (const std::uint8_t *stored = mem.rangeView(key_src, md.keyLen))
+        return std::memcmp(key.data(), stored, md.keyLen) == 0;
     std::uint8_t stored[64];
-    mem.read(kvSlotAddr(md, slot) + kvKeyOffset, stored, md.keyLen);
-    return std::equal(key.begin(), key.end(), stored);
+    mem.read(key_src, stored, md.keyLen);
+    return std::memcmp(key.data(), stored, md.keyLen) == 0;
 }
 
 std::optional<std::uint64_t>
@@ -79,8 +83,10 @@ SingleFunctionTable::lookup(KeyView key, AccessTrace *trace,
     recordRef(trace, bucketAddr(md, bucket), cacheLineBytes, false,
               AccessPhase::Bucket, true);
 
+    const std::uint8_t *line = mem.lineView(bucketAddr(md, bucket)).data();
     for (unsigned way = 0; way < entriesPerBucket; ++way) {
-        const BucketEntry entry = readEntry(bucket, way);
+        BucketEntry entry;
+        std::memcpy(&entry, line + way * bucketEntryBytes, sizeof(entry));
         if (entry.kvRef != 0 && entry.sig == sig) {
             recordRef(trace, kvSlotAddr(md, entry.kvRef - 1),
                       static_cast<std::uint16_t>(md.kvSlotBytes), false,

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -35,7 +36,18 @@ namespace halo {
 class SimMemory
 {
   public:
-    static constexpr std::uint64_t pageBytes = 1ull << 16;
+    static constexpr std::uint64_t pageShift = 16;
+    static constexpr std::uint64_t pageBytes = 1ull << pageShift;
+    static constexpr std::uint64_t pageOffsetMask = pageBytes - 1;
+
+    static_assert(pageBytes % cacheLineBytes == 0,
+                  "a cache line must never straddle a page");
+
+    /** Read-only view of one cache line of simulated memory. */
+    using LineView = std::span<const std::uint8_t, cacheLineBytes>;
+
+    /** Mutable view of one cache line of simulated memory. */
+    using LineViewMut = std::span<std::uint8_t, cacheLineBytes>;
 
     /** @param capacity Total simulated bytes addressable (default 4 GiB). */
     explicit SimMemory(std::uint64_t capacity = 4ull << 30)
@@ -69,14 +81,73 @@ class SimMemory
         return base;
     }
 
+    /**
+     * Zero-copy view of the cache line at @p addr (must be line-aligned).
+     *
+     * Reading through the view is equivalent to read(): lines on pages
+     * never written to read as zeros (the view aliases a shared zero
+     * line), so a read-only view never materializes a page. Views are
+     * direct host pointers into page storage — they stay coherent with
+     * read()/write() on materialized pages, but a view taken over an
+     * *unmaterialized* page is invalidated by the first write to that
+     * page. Treat views as short-lived: take, consume, drop.
+     */
+    LineView
+    lineView(Addr addr) const
+    {
+        HALO_ASSERT(isLineAligned(addr), "lineView needs a line-aligned "
+                    "address");
+        const std::uint64_t page = addr >> pageShift;
+        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
+        const std::uint8_t *p =
+            pages[page] ? pages[page].get() + (addr & pageOffsetMask)
+                        : zeroLine;
+        return LineView(p, cacheLineBytes);
+    }
+
+    /**
+     * Mutable zero-copy view of the cache line at @p addr. Materializes
+     * the backing page (writes must have real storage), exactly as
+     * write() would.
+     */
+    LineViewMut
+    lineViewMut(Addr addr)
+    {
+        HALO_ASSERT(isLineAligned(addr), "lineViewMut needs a "
+                    "line-aligned address");
+        return LineViewMut(pagePtr(addr >> pageShift) +
+                               (addr & pageOffsetMask),
+                           cacheLineBytes);
+    }
+
+    /**
+     * Direct host pointer over [addr, addr+len) when the range lies
+     * within one page, nullptr when it straddles a page boundary (the
+     * caller falls back to read()). Unmaterialized pages yield the
+     * shared zero line for ranges up to one cache line; same lifetime
+     * caveat as lineView().
+     */
+    const std::uint8_t *
+    rangeView(Addr addr, std::uint64_t len) const
+    {
+        const std::uint64_t page = addr >> pageShift;
+        const std::uint64_t off = addr & pageOffsetMask;
+        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
+        if (off + len > pageBytes)
+            return nullptr;
+        if (pages[page])
+            return pages[page].get() + off;
+        return len <= cacheLineBytes ? zeroLine : nullptr;
+    }
+
     /** Copy @p len bytes out of simulated memory. */
     void
     read(Addr addr, void *dst, std::uint64_t len) const
     {
         auto *out = static_cast<std::uint8_t *>(dst);
         while (len > 0) {
-            const std::uint64_t page = addr / pageBytes;
-            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t page = addr >> pageShift;
+            const std::uint64_t off = addr & pageOffsetMask;
             const std::uint64_t chunk = std::min(len, pageBytes - off);
             const std::uint8_t *src = pagePtrConst(page);
             if (src)
@@ -95,8 +166,8 @@ class SimMemory
     {
         auto *in = static_cast<const std::uint8_t *>(src);
         while (len > 0) {
-            const std::uint64_t page = addr / pageBytes;
-            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t page = addr >> pageShift;
+            const std::uint64_t off = addr & pageOffsetMask;
             const std::uint64_t chunk = std::min(len, pageBytes - off);
             std::memcpy(pagePtr(page) + off, in, chunk);
             in += chunk;
@@ -112,6 +183,10 @@ class SimMemory
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T v;
+        if (const std::uint8_t *p = rangeView(addr, sizeof(T))) {
+            std::memcpy(&v, p, sizeof(T));
+            return v;
+        }
         read(addr, &v, sizeof(T));
         return v;
     }
@@ -122,6 +197,11 @@ class SimMemory
     store(Addr addr, const T &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t off = addr & pageOffsetMask;
+        if (off + sizeof(T) <= pageBytes) {
+            std::memcpy(pagePtr(addr >> pageShift) + off, &v, sizeof(T));
+            return;
+        }
         write(addr, &v, sizeof(T));
     }
 
@@ -130,8 +210,8 @@ class SimMemory
     zero(Addr addr, std::uint64_t len)
     {
         while (len > 0) {
-            const std::uint64_t page = addr / pageBytes;
-            const std::uint64_t off = addr % pageBytes;
+            const std::uint64_t page = addr >> pageShift;
+            const std::uint64_t off = addr & pageOffsetMask;
             const std::uint64_t chunk = std::min(len, pageBytes - off);
             // Untouched pages are already zero; only clear materialized
             // ones.
@@ -147,6 +227,8 @@ class SimMemory
     equals(Addr addr, const void *host, std::uint64_t len) const
     {
         const auto *h = static_cast<const std::uint8_t *>(host);
+        if (const std::uint8_t *p = rangeView(addr, len))
+            return std::memcmp(p, h, len) == 0;
         std::uint8_t buf[256];
         while (len > 0) {
             const std::uint64_t chunk =
@@ -190,6 +272,11 @@ class SimMemory
         HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
         return pages[page].get();
     }
+
+    /** Backing for read-only views of unmaterialized pages: every line
+     *  of an untouched page reads as this shared all-zero line. */
+    alignas(cacheLineBytes) static constexpr std::uint8_t
+        zeroLine[cacheLineBytes] = {};
 
     std::uint64_t capacityBytes;
     std::vector<std::unique_ptr<std::uint8_t[]>> pages;

@@ -177,9 +177,20 @@ struct FlowMask
     apply(std::span<const std::uint8_t> key) const
     {
         std::array<std::uint8_t, FiveTuple::keyBytes> out{};
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] = key[i] & bytes[i];
+        applyInto(key, out.data());
         return out;
+    }
+
+    /**
+     * Apply to a key, writing into a caller-provided buffer of
+     * FiveTuple::keyBytes bytes. Lets hot loops reuse one scratch buffer
+     * across tuples instead of producing a fresh array per probe.
+     */
+    void
+    applyInto(std::span<const std::uint8_t> key, std::uint8_t *out) const
+    {
+        for (std::size_t i = 0; i < FiveTuple::keyBytes; ++i)
+            out[i] = key[i] & bytes[i];
     }
 
     bool

@@ -63,6 +63,11 @@ VirtualSwitch::VirtualSwitch(SimMemory &memory, MemoryHierarchy &hierarchy,
     resultBuffer =
         mem.allocate(ceilDiv(keySlots, 8) * cacheLineBytes,
                      cacheLineBytes);
+
+    // Pre-size the per-packet scratch so the steady state never grows it.
+    refScratch.reserve(64);
+    opScratch.reserve(4096);
+    pollScratch.reserve(512);
 }
 
 void
@@ -100,14 +105,15 @@ VirtualSwitch::openflowUpcall(const FiveTuple &tuple, PacketResult &res,
     // The OpenFlow layer searches EVERY tuple and keeps the highest
     // priority match (paper SS2.2) — strictly slower than MegaFlow.
     const auto key = tuple.toKey();
-    OpTrace ops;
+    OpTrace &ops = opScratch;
+    ops.clear();
     for (unsigned t = 0; t < openflow.numTuples(); ++t) {
-        const auto masked = openflow.mask(t).apply(key);
-        AccessTrace refs;
-        openflow.table(t).lookup(KeyView(masked.data(), masked.size()),
-                                 &refs);
+        openflow.mask(t).applyInto(key, maskScratch.data());
+        refScratch.clear();
+        openflow.table(t).lookup(
+            KeyView(maskScratch.data(), maskScratch.size()), &refScratch);
         tableBuilder.lowerCompute(4, 2, 0, ops);
-        tableBuilder.lowerTableOp(refs, ops);
+        tableBuilder.lowerTableOp(refScratch, ops);
     }
     // Priority comparison across matches.
     tableBuilder.lowerCompute(2 * openflow.numTuples(),
@@ -195,15 +201,16 @@ VirtualSwitch::classifyBurstNB(std::span<const FiveTuple> batch)
     }
 
     // Issue every query of every packet back to back.
-    OpTrace ops;
+    OpTrace &ops = opScratch;
+    ops.clear();
     unsigned slot = 0;
     for (const FiveTuple &tuple : batch) {
         const auto key = tuple.toKey();
         for (unsigned t = 0; t < n; ++t) {
-            const auto masked = tuples.mask(t).apply(key);
+            tuples.mask(t).applyInto(key, maskScratch.data());
             const Addr key_addr = stageKey(
-                std::span<const std::uint8_t>(masked.data(),
-                                              masked.size()),
+                std::span<const std::uint8_t>(maskScratch.data(),
+                                              maskScratch.size()),
                 slot);
             tableBuilder.lowerCompute(4, 3, 1, ops);
             const Addr result_addr = resultBuffer +
@@ -219,7 +226,8 @@ VirtualSwitch::classifyBurstNB(std::span<const FiveTuple> batch)
 
     // One SNAPSHOT_READ sweep per poll round across all result lines.
     while (now < rr.lastNbReady) {
-        OpTrace check;
+        OpTrace &check = pollScratch;
+        check.clear();
         for (unsigned l = 0; l < lines; ++l)
             tableBuilder.lowerSnapshotCheck(
                 resultBuffer + l * cacheLineBytes, check);
@@ -275,7 +283,8 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
         hier.warmLine(slot_addr);
         hier.warmLine(slot_addr + cacheLineBytes);
 
-        OpTrace io;
+        OpTrace &io = opScratch;
+        io.clear();
         tableBuilder.lowerCompute(cfg.ioArith, cfg.ioOthers,
                                   cfg.ioScratch, io);
         tableBuilder.lowerLoad(slot_addr, 16, AccessPhase::Payload, io);
@@ -285,7 +294,8 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
         now = rr.endCycle;
 
         // --- Pre-processing: header extraction over the frame. ---
-        OpTrace pre;
+        OpTrace &pre = opScratch;
+        pre.clear();
         tableBuilder.lowerLoad(slot_addr, 48, AccessPhase::Payload, pre);
         tableBuilder.lowerCompute(cfg.preArith, cfg.preOthers,
                                   cfg.preScratch, pre);
@@ -315,7 +325,8 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
         openflowUpcall(tuple, res, now);
 
     // --- Action execution + bookkeeping ("others" in Fig. 3). ---
-    OpTrace act;
+    OpTrace &act = opScratch;
+    act.clear();
     tableBuilder.lowerCompute(cfg.actArith, cfg.actOthers, cfg.actScratch,
                               act);
     RunResult rr = core.run(act, now);
@@ -337,10 +348,11 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
 
     // --- EMC probe. ---
     if (cfg.useEmc) {
-        AccessTrace emc_refs;
-        const auto emc_hit = emcCache.lookup(key, &emc_refs);
-        OpTrace emc_ops;
-        emcBuilder.lowerTableOp(emc_refs, emc_ops);
+        refScratch.clear();
+        const auto emc_hit = emcCache.lookup(key, &refScratch);
+        OpTrace &emc_ops = opScratch;
+        emc_ops.clear();
+        emcBuilder.lowerTableOp(refScratch, emc_ops);
         RunResult rr = core.run(emc_ops, now);
         res.emcCycles = rr.elapsed();
         res.instructions += rr.instructions;
@@ -355,17 +367,18 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
 
     // --- MegaFlow tuple-space search (first match). Each probed tuple
     //     costs a full Table-1-profile cuckoo lookup. ---
-    OpTrace ops;
+    OpTrace &ops = opScratch;
+    ops.clear();
     std::optional<TupleMatch> match;
     unsigned searched = 0;
     for (unsigned t = 0; t < tuples.numTuples(); ++t) {
-        const auto masked = tuples.mask(t).apply(key);
-        AccessTrace refs;
+        tuples.mask(t).applyInto(key, maskScratch.data());
+        refScratch.clear();
         const auto value = tuples.table(t).lookup(
-            KeyView(masked.data(), masked.size()), &refs);
+            KeyView(maskScratch.data(), maskScratch.size()), &refScratch);
         // Mask application: a handful of vector ANDs per tuple.
         tableBuilder.lowerCompute(4, 2, 0, ops);
-        tableBuilder.lowerTableOp(refs, ops);
+        tableBuilder.lowerTableOp(refScratch, ops);
         ++searched;
         if (value) {
             match = TupleMatch{*value, decodeRulePriority(*value), t,
@@ -412,12 +425,14 @@ VirtualSwitch::haloBlockingClassify(const FiveTuple &tuple,
                                     : tuples.numTuples();
     res.tuplesSearched = searched;
 
-    OpTrace ops;
+    OpTrace &ops = opScratch;
+    ops.clear();
     std::int32_t prev_lookup = -1;
     for (unsigned t = 0; t < searched; ++t) {
-        const auto masked = tuples.mask(t).apply(key);
+        tuples.mask(t).applyInto(key, maskScratch.data());
         const Addr key_addr = stageKey(
-            std::span<const std::uint8_t>(masked.data(), masked.size()),
+            std::span<const std::uint8_t>(maskScratch.data(),
+                                          maskScratch.size()),
             t);
         // Masking + staging cost.
         tableBuilder.lowerCompute(4, 3, 1, ops);
@@ -468,11 +483,13 @@ VirtualSwitch::haloNonBlockingClassify(const FiveTuple &tuple,
         hier.warmLine(resultBuffer + l * cacheLineBytes);
     }
 
-    OpTrace ops;
+    OpTrace &ops = opScratch;
+    ops.clear();
     for (unsigned t = 0; t < n; ++t) {
-        const auto masked = tuples.mask(t).apply(key);
+        tuples.mask(t).applyInto(key, maskScratch.data());
         const Addr key_addr = stageKey(
-            std::span<const std::uint8_t>(masked.data(), masked.size()),
+            std::span<const std::uint8_t>(maskScratch.data(),
+                                          maskScratch.size()),
             t);
         tableBuilder.lowerCompute(4, 3, 1, ops);
         const Addr result_addr = resultBuffer + (t / 8) * cacheLineBytes +
@@ -488,7 +505,8 @@ VirtualSwitch::haloNonBlockingClassify(const FiveTuple &tuple,
     // Poll with SNAPSHOT_READ until every line reports 8 ready slots.
     Cycles poll = done;
     do {
-        OpTrace check;
+        OpTrace &check = pollScratch;
+        check.clear();
         for (unsigned l = 0; l < lines; ++l)
             tableBuilder.lowerSnapshotCheck(
                 resultBuffer + l * cacheLineBytes, check);

@@ -208,6 +208,16 @@ class VirtualSwitch
     TraceBuilder tableBuilder; ///< Table-1 profile (cuckoo lookups)
     TraceBuilder emcBuilder;   ///< lighter profile for EMC probes
 
+    /// Per-packet scratch reused across packets (cleared, never
+    /// reallocated) so steady-state classification does zero heap
+    /// allocation: one AccessTrace for functional reference streams,
+    /// one OpTrace for the lowered micro-ops of the current stage, one
+    /// for SNAPSHOT_READ poll rounds, and a masked-key buffer.
+    AccessTrace refScratch;
+    OpTrace opScratch;
+    OpTrace pollScratch;
+    std::array<std::uint8_t, FiveTuple::keyBytes> maskScratch{};
+
     /// Monotonic datapath clock: accelerator and cache reservation
     /// state advances in absolute time, so packets must too.
     Cycles clock = 0;

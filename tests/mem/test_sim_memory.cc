@@ -97,5 +97,68 @@ TEST(SimMemory, ExhaustionIsFatal)
     EXPECT_THROW(mem.allocate(1 << 20), FatalError);
 }
 
+TEST(SimMemory, LineViewAliasesReadsAndWrites)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.allocate(cacheLineBytes, cacheLineBytes);
+    mem.store<std::uint64_t>(a + 16, 0x1122334455667788ull);
+
+    SimMemory::LineView view = mem.lineView(a);
+    std::uint64_t v = 0;
+    std::memcpy(&v, view.data() + 16, sizeof(v));
+    EXPECT_EQ(v, 0x1122334455667788ull);
+
+    // Views over materialized pages stay coherent with write().
+    mem.store<std::uint64_t>(a + 16, 0xddccbbaa99887766ull);
+    std::memcpy(&v, view.data() + 16, sizeof(v));
+    EXPECT_EQ(v, 0xddccbbaa99887766ull);
+
+    // And writes through a mutable view are seen by read().
+    SimMemory::LineViewMut mut = mem.lineViewMut(a);
+    mut[0] = 0x5a;
+    EXPECT_EQ(mem.load<std::uint8_t>(a), 0x5a);
+}
+
+TEST(SimMemory, LineViewOfUntouchedPageReadsZero)
+{
+    SimMemory mem(256 << 20);
+    SimMemory::LineView view = mem.lineView(100 << 20);
+    for (std::uint8_t byte : view)
+        EXPECT_EQ(byte, 0u);
+}
+
+TEST(SimMemory, ReadOnlyViewsNeverMaterialize)
+{
+    SimMemory mem(256 << 20);
+    EXPECT_EQ(mem.materializedPages(), 0u);
+    (void)mem.lineView(100 << 20);
+    (void)mem.rangeView(100 << 20, 16);
+    EXPECT_EQ(mem.materializedPages(), 0u);
+    // The mutable view must materialize, exactly like a write.
+    (void)mem.lineViewMut(100 << 20);
+    EXPECT_EQ(mem.materializedPages(), 1u);
+}
+
+TEST(SimMemory, LineViewRequiresAlignment)
+{
+    SimMemory mem(1 << 20);
+    EXPECT_THROW(mem.lineView(cacheLineBytes + 1), PanicError);
+    EXPECT_THROW(mem.lineViewMut(cacheLineBytes + 1), PanicError);
+}
+
+TEST(SimMemory, RangeViewFallsBackAcrossPages)
+{
+    SimMemory mem(4 << 20);
+    const Addr straddle = SimMemory::pageBytes - 8;
+    EXPECT_EQ(mem.rangeView(straddle, 16), nullptr);
+    // In-page ranges of materialized pages are direct pointers.
+    mem.store<std::uint64_t>(64, 0xabcdef0123456789ull);
+    const std::uint8_t *p = mem.rangeView(64, 8);
+    ASSERT_NE(p, nullptr);
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, sizeof(v));
+    EXPECT_EQ(v, 0xabcdef0123456789ull);
+}
+
 } // namespace
 } // namespace halo
