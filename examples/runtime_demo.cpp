@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Runtime demo: shard the switch across worker threads.
+ *
+ * Spins up a Runtime with four shared-nothing VirtualSwitch shards,
+ * steers 100k packets to them by symmetric RSS over their five-tuples,
+ * polls a lock-free snapshot while the dataplane runs, and prints the
+ * per-worker and aggregate accounting once everything has drained.
+ *
+ *   $ ./build/examples/runtime_demo
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "flow/ruleset.hh"
+#include "runtime/runtime.hh"
+
+using namespace halo;
+
+int
+main()
+{
+    // 1. A deterministic workload: 5000 flows, and a rule set whose
+    //    megaflow entries cover them.
+    const TrafficConfig traffic = TrafficGenerator::scenarioConfig(
+        TrafficScenario::SmallFlowCount, 5000);
+    TrafficGenerator gen(traffic);
+    const RuleSet rules = scenarioRules(TrafficScenario::SmallFlowCount,
+                                        gen.flows(), 0x707);
+
+    // 2. Four workers, each with a private simulated memory and switch
+    //    shard. Symmetric RSS keeps both directions of a connection on
+    //    the same shard; a full ring drops (counted) rather than
+    //    blocking the producer.
+    RuntimeConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.ringCapacity = 1024;
+    cfg.batchSize = 32;
+    cfg.rss.symmetric = true;
+    cfg.enqueueRetries = 4096; // bounded yields before dropping
+
+    const std::uint64_t packets = 100000;
+    Runtime rt(cfg, rules);
+    rt.start();
+    rt.startProducer(traffic, packets);
+
+    // 3. Any thread may watch progress without locks. Sleep between
+    //    polls: on small hosts a spinning observer starves the workers.
+    RuntimeSnapshot live = rt.snapshot();
+    while (live.offered < packets) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        live = rt.snapshot();
+        std::printf("  in flight: offered %8llu  processed %8llu\n",
+                    static_cast<unsigned long long>(live.offered),
+                    static_cast<unsigned long long>(live.processed));
+    }
+
+    rt.joinProducer();
+    rt.drain();
+    rt.stop();
+
+    // 4. Exact post-stop reduction: published counters, SwitchTotals
+    //    from each shard, and batch-latency percentiles.
+    const RuntimeReport rep = rt.report();
+    for (std::size_t w = 0; w < rep.workers.size(); ++w) {
+        const WorkerReport &wr = rep.workers[w];
+        std::printf("worker %zu: %8llu pkts  %7llu emc hits  "
+                    "batch p50 %6.1f us  p99 %6.1f us\n",
+                    w,
+                    static_cast<unsigned long long>(wr.counters.packets),
+                    static_cast<unsigned long long>(wr.counters.emcHits),
+                    wr.batchP50Nanos / 1e3, wr.batchP99Nanos / 1e3);
+    }
+    std::printf("aggregate: offered %llu, enqueued %llu, processed "
+                "%llu, drops %llu, matched %llu\n",
+                static_cast<unsigned long long>(rep.aggregate.offered),
+                static_cast<unsigned long long>(rep.aggregate.enqueued),
+                static_cast<unsigned long long>(rep.aggregate.processed),
+                static_cast<unsigned long long>(
+                    rep.aggregate.ringFullDrops),
+                static_cast<unsigned long long>(rep.aggregate.matched));
+    return rep.aggregate.processed == rep.aggregate.enqueued ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "flow/ruleset.hh"
+#include "vswitch/shard.hh"
 #include "vswitch/vswitch.hh"
 
 using namespace halo;
@@ -19,25 +20,24 @@ namespace {
 void
 runMode(const char *name, LookupMode mode)
 {
-    SimMemory mem(2ull << 30);
-    MemoryHierarchy hier;
-    HaloSystem halo_sys(mem, hier);
-    CoreModel core(hier, 0);
-
     // Gateway-style traffic: 50K flows against ~20 hot wildcard rules.
     TrafficGenerator gen(TrafficGenerator::scenarioConfig(
         TrafficScenario::ManyFlowsHotRules, 50000));
     const RuleSet rules = scenarioRules(
         TrafficScenario::ManyFlowsHotRules, gen.flows(), 7);
 
-    VSwitchConfig cfg;
-    cfg.mode = mode;
-    cfg.useEmc = mode == LookupMode::Software;
-    cfg.tupleConfig.tupleCapacity =
+    // SwitchShard bundles the machine wiring (hierarchy + HALO complex
+    // + core model + switch) that used to be assembled by hand here.
+    SimMemory mem(2ull << 30);
+    ShardConfig cfg;
+    cfg.useHalo = true;
+    cfg.vswitch.mode = mode;
+    cfg.vswitch.useEmc = mode == LookupMode::Software;
+    cfg.vswitch.tupleConfig.tupleCapacity =
         nextPowerOfTwo(maxRulesPerMask(rules) + 64);
-    VirtualSwitch vs(mem, hier, core, &halo_sys, cfg);
-    vs.installRules(rules);
-    vs.warmTables();
+    SwitchShard shard(mem, cfg);
+    shard.install(rules);
+    VirtualSwitch &vs = shard.vswitch();
     std::printf("\n[%s] %llu rules in %u tuples\n", name,
                 static_cast<unsigned long long>(
                     vs.tupleSpace().ruleCount()),

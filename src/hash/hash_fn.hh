@@ -83,6 +83,21 @@ xxMix(std::span<const std::uint8_t> data, std::uint64_t seed)
 std::uint64_t hashBytesSlow(HashKind kind, std::uint64_t seed,
                             std::span<const std::uint8_t> data);
 
+/**
+ * Direction-insensitive xxMix over a key with two endpoint fields
+ * (symmetric RSS hashing): digests min(a,b) || max(a,b) || tail, where
+ * min/max order the two equal-length endpoint encodings
+ * lexicographically. Swapping @p endpoint_a and @p endpoint_b therefore
+ * yields the same digest, so both directions of a connection hash — and
+ * shard — identically. @p tail carries the direction-independent rest
+ * of the key (e.g. the IP protocol byte). Total length is bounded by an
+ * internal stack buffer (64 bytes).
+ */
+std::uint64_t xxMixSymmetric(std::span<const std::uint8_t> endpoint_a,
+                             std::span<const std::uint8_t> endpoint_b,
+                             std::span<const std::uint8_t> tail,
+                             std::uint64_t seed);
+
 /** Dispatch on HashKind; always returns a 64-bit digest. */
 inline std::uint64_t
 hashBytes(HashKind kind, std::uint64_t seed,

@@ -1,0 +1,55 @@
+#include "runtime/rss.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hash/hash_fn.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+RssDispatcher::RssDispatcher(const RssConfig &config) : cfg(config)
+{
+    HALO_ASSERT(cfg.numShards > 0, "RSS needs at least one shard");
+    table.resize(nextPowerOfTwo(std::max(cfg.tableEntries, 1u)));
+    resetTable();
+}
+
+void
+RssDispatcher::resetTable()
+{
+    for (std::size_t b = 0; b < table.size(); ++b)
+        table[b] = static_cast<std::uint32_t>(b % cfg.numShards);
+}
+
+void
+RssDispatcher::setEntry(unsigned bucket, unsigned shard)
+{
+    HALO_ASSERT(shard < cfg.numShards, "rebalance target out of range");
+    table.at(bucket) = shard;
+}
+
+std::uint64_t
+RssDispatcher::hashTuple(const FiveTuple &tuple) const
+{
+    const auto key = tuple.toKey();
+    if (!cfg.symmetric)
+        return xxMix(std::span<const std::uint8_t>(key.data(), key.size()),
+                     cfg.seed);
+
+    // Endpoint encodings: ip(4, network order) || port(2), pulled from
+    // the canonical key layout; the protocol byte is the shared tail.
+    std::uint8_t src[6], dst[6];
+    std::memcpy(src, key.data(), 4);
+    std::memcpy(src + 4, key.data() + 8, 2);
+    std::memcpy(dst, key.data() + 4, 4);
+    std::memcpy(dst + 4, key.data() + 10, 2);
+    const std::uint8_t tail[1] = {tuple.proto};
+    return xxMixSymmetric(std::span<const std::uint8_t>(src, 6),
+                          std::span<const std::uint8_t>(dst, 6),
+                          std::span<const std::uint8_t>(tail, 1),
+                          cfg.seed);
+}
+
+} // namespace halo

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Receive-side-scaling dispatch for the multi-worker runtime.
+ *
+ * Mirrors NIC RSS: a packet's five-tuple is hashed and the digest
+ * indexes an indirection table whose entries name worker shards. The
+ * default table spreads buckets round-robin; individual entries can be
+ * remapped at runtime to pull load off a hot shard (the "rebalance
+ * map" — exactly how RSS indirection tables are retuned in practice).
+ *
+ * With the symmetric option the two directions of a connection hash
+ * identically (hash::xxMixSymmetric orders the endpoint encodings
+ * before digesting), so request and reply traffic of one flow always
+ * land on the same shard — required for stateful NFs (NAT, connection
+ * tracking) sharded shared-nothing.
+ */
+
+#ifndef HALO_RUNTIME_RSS_HH
+#define HALO_RUNTIME_RSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.hh"
+
+namespace halo {
+
+/** Dispatcher configuration. */
+struct RssConfig
+{
+    unsigned numShards = 1;
+    /// Indirection-table entries (rounded up to a power of two). More
+    /// entries give finer-grained rebalancing.
+    unsigned tableEntries = 128;
+    /// Hash both directions of a connection to the same shard.
+    bool symmetric = false;
+    std::uint64_t seed = 0x00b1a5edc0ffeeull;
+};
+
+/**
+ * Five-tuple → shard steering via a rebalanceable indirection table.
+ */
+class RssDispatcher
+{
+  public:
+    explicit RssDispatcher(const RssConfig &config);
+
+    unsigned numShards() const { return cfg.numShards; }
+    unsigned tableEntries() const
+    {
+        return static_cast<unsigned>(table.size());
+    }
+
+    /** Full-width RSS digest of @p tuple (symmetric if configured). */
+    std::uint64_t hashTuple(const FiveTuple &tuple) const;
+
+    /** Indirection-table bucket @p tuple falls into. */
+    unsigned
+    bucketFor(const FiveTuple &tuple) const
+    {
+        return static_cast<unsigned>(hashTuple(tuple) &
+                                     (table.size() - 1));
+    }
+
+    /** Shard @p tuple is steered to. */
+    unsigned shardFor(const FiveTuple &tuple) const
+    {
+        return table[bucketFor(tuple)];
+    }
+
+    /** Rebalance hook: repoint one indirection bucket at @p shard. */
+    void setEntry(unsigned bucket, unsigned shard);
+
+    unsigned entry(unsigned bucket) const { return table.at(bucket); }
+
+    /** Restore the default round-robin bucket→shard spread. */
+    void resetTable();
+
+  private:
+    RssConfig cfg;
+    std::vector<std::uint32_t> table;
+};
+
+} // namespace halo
+
+#endif // HALO_RUNTIME_RSS_HH

@@ -1,0 +1,170 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace halo {
+
+namespace {
+
+double
+percentileNanos(std::vector<std::uint64_t> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+} // namespace
+
+Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
+    : cfg(config),
+      rss_([&] {
+          RssConfig rc = config.rss;
+          rc.numShards = config.numWorkers;
+          return rc;
+      }())
+{
+    HALO_ASSERT(cfg.numWorkers > 0, "runtime needs at least one worker");
+    workers_.reserve(cfg.numWorkers);
+    for (unsigned w = 0; w < cfg.numWorkers; ++w) {
+        WorkerConfig wc;
+        wc.id = w;
+        wc.ringCapacity = cfg.ringCapacity;
+        wc.batchSize = cfg.batchSize;
+        wc.shardMemBytes = cfg.shardMemBytes;
+        wc.shard = cfg.shard;
+        wc.shard.coreId = w;
+        wc.warmTables = cfg.warmTables;
+        workers_.push_back(std::make_unique<Worker>(wc, rules));
+    }
+}
+
+Runtime::~Runtime()
+{
+    if (producer_.joinable())
+        producer_.join();
+    stop();
+}
+
+void
+Runtime::start()
+{
+    for (auto &w : workers_)
+        w->start();
+}
+
+bool
+Runtime::offer(Packet &&packet, const FiveTuple &tuple)
+{
+    offered_.add(1);
+    Worker &w = *workers_[rss_.shardFor(tuple)];
+    for (unsigned attempt = 0;; ++attempt) {
+        if (w.ring().tryPush(std::move(packet))) {
+            enqueued_.add(1);
+            return true;
+        }
+        if (attempt >= cfg.enqueueRetries)
+            break;
+        std::this_thread::yield();
+    }
+    drops_.add(1);
+    return false;
+}
+
+void
+Runtime::startProducer(const TrafficConfig &traffic,
+                       std::uint64_t packets)
+{
+    HALO_ASSERT(!producer_.joinable(), "producer already running");
+    producer_ = std::thread([this, traffic, packets] {
+        TrafficGenerator gen(traffic);
+        for (std::uint64_t i = 0; i < packets; ++i) {
+            const FiveTuple &tuple = gen.nextTuple();
+            offer(Packet::fromTuple(tuple), tuple);
+        }
+    });
+}
+
+void
+Runtime::joinProducer()
+{
+    if (producer_.joinable())
+        producer_.join();
+}
+
+void
+Runtime::drain()
+{
+    for (auto &w : workers_)
+        while (!w->ring().empty())
+            std::this_thread::yield();
+}
+
+void
+Runtime::stop()
+{
+    for (auto &w : workers_)
+        w->requestStop();
+    for (auto &w : workers_)
+        w->join();
+}
+
+RuntimeSnapshot
+Runtime::snapshot() const
+{
+    RuntimeSnapshot s;
+    s.offered = offered_.value();
+    s.enqueued = enqueued_.value();
+    s.ringFullDrops = drops_.value();
+    s.perWorker.reserve(workers_.size());
+    for (const auto &w : workers_) {
+        const WorkerCounters c = w->counters();
+        s.processed += c.packets;
+        s.batches += c.batches;
+        s.matched += c.matched;
+        s.emcHits += c.emcHits;
+        s.busyNanos += c.busyNanos;
+        s.perWorker.push_back(c);
+    }
+    return s;
+}
+
+RuntimeReport
+Runtime::report() const
+{
+    RuntimeReport rep;
+    rep.aggregate = snapshot();
+    rep.workers.reserve(workers_.size());
+    for (const auto &w : workers_) {
+        WorkerReport wr;
+        wr.counters = w->counters();
+        wr.totals = w->totals();
+        wr.batchP50Nanos = percentileNanos(w->batchWallNanos(), 0.50);
+        wr.batchP99Nanos = percentileNanos(w->batchWallNanos(), 0.99);
+        rep.workers.push_back(wr);
+    }
+    return rep;
+}
+
+RuntimeReport
+Runtime::run(const TrafficConfig &traffic, std::uint64_t packets)
+{
+    using SteadyClock = std::chrono::steady_clock;
+    start();
+    const auto t0 = SteadyClock::now();
+    startProducer(traffic, packets);
+    joinProducer();
+    drain();
+    const auto t1 = SteadyClock::now();
+    stop();
+    RuntimeReport rep = report();
+    rep.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return rep;
+}
+
+} // namespace halo

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The multi-worker dataplane runtime façade.
+ *
+ * Spawns N shared-nothing Workers (each a private VirtualSwitch shard
+ * behind an SPSC ring), steers traffic to them with RSS dispatch, and
+ * aggregates per-worker statistics without locks. A producer — either
+ * the built-in thread driving net::TrafficGenerator or any single
+ * caller thread using offer() — hashes each packet's five-tuple and
+ * enqueues it on the owning worker's ring. Backpressure is accounted,
+ * never blocking: a full ring costs the producer at most
+ * `enqueueRetries` bounded yields before the packet is counted as a
+ * ring-full drop.
+ *
+ * Lifecycle: start() → startProducer()/offer() → joinProducer() →
+ * drain() → stop() → report(). run() bundles the whole sequence.
+ * snapshot() may be called from any thread at any point in between
+ * (relaxed-atomic reads of the workers' published counters).
+ *
+ * This layer scales the *host* datapath only. The simulated-cycle
+ * benchmarks stay single-threaded by design: each shard's simulated
+ * clock, caches and accelerator state advance deterministically within
+ * one thread, and nothing here is allowed to perturb that.
+ */
+
+#ifndef HALO_RUNTIME_RUNTIME_HH
+#define HALO_RUNTIME_RUNTIME_HH
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/traffic_gen.hh"
+#include "runtime/rss.hh"
+#include "runtime/worker.hh"
+
+namespace halo {
+
+/** Runtime configuration; the shard config is replicated per worker. */
+struct RuntimeConfig
+{
+    unsigned numWorkers = 2;
+    std::size_t ringCapacity = 1024;
+    unsigned batchSize = 32;
+    std::uint64_t shardMemBytes = 1ull << 30;
+    ShardConfig shard;
+    /// rss.numShards is overridden with numWorkers.
+    RssConfig rss;
+    /// Bounded producer yields before a full ring drops the packet
+    /// (0 = drop immediately). Never an unbounded block.
+    unsigned enqueueRetries = 0;
+    bool warmTables = true;
+};
+
+/** Lock-free aggregate view; coherent snapshot once workers quiesce. */
+struct RuntimeSnapshot
+{
+    std::uint64_t offered = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t ringFullDrops = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t matched = 0;
+    std::uint64_t emcHits = 0;
+    std::uint64_t busyNanos = 0;
+    std::vector<WorkerCounters> perWorker;
+};
+
+/** Post-stop per-worker reduction. */
+struct WorkerReport
+{
+    WorkerCounters counters;
+    SwitchTotals totals;
+    double batchP50Nanos = 0.0;
+    double batchP99Nanos = 0.0;
+};
+
+struct RuntimeReport
+{
+    RuntimeSnapshot aggregate;
+    std::vector<WorkerReport> workers;
+    /// Producer start → drain end; only set by run().
+    double wallSeconds = 0.0;
+};
+
+class Runtime
+{
+  public:
+    Runtime(const RuntimeConfig &config, const RuleSet &rules);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+    Worker &worker(unsigned i) { return *workers_.at(i); }
+    RssDispatcher &dispatcher() { return rss_; }
+
+    /** Spawn the worker threads. */
+    void start();
+
+    /**
+     * Producer-side: steer one packet to its shard. Single producer at
+     * a time — either call this from exactly one thread, or use
+     * startProducer(), never both concurrently.
+     * @return false when the packet was dropped (ring full after the
+     *         configured bounded retries).
+     */
+    bool offer(Packet &&packet, const FiveTuple &tuple);
+
+    /** Spawn the producer thread: @p packets five-tuples drawn from a
+     *  TrafficGenerator(@p traffic), materialized and dispatched. */
+    void startProducer(const TrafficConfig &traffic,
+                       std::uint64_t packets);
+    void joinProducer();
+
+    /** Wait (yielding) until every worker ring is empty. Call after
+     *  the producer has quiesced. */
+    void drain();
+
+    /** Request worker exit (post-drain) and join all threads. */
+    void stop();
+
+    /** Lock-free aggregate of the published counters; any thread. */
+    RuntimeSnapshot snapshot() const;
+
+    /** Full reduction incl. SwitchTotals and latency percentiles.
+     *  Only valid after stop(). */
+    RuntimeReport report() const;
+
+    /** Convenience: start → produce → drain → stop → report, with
+     *  wallSeconds covering produce+drain. */
+    RuntimeReport run(const TrafficConfig &traffic,
+                      std::uint64_t packets);
+
+  private:
+    RuntimeConfig cfg;
+    RssDispatcher rss_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::thread producer_;
+
+    PublishedCounter offered_;
+    PublishedCounter enqueued_;
+    PublishedCounter drops_;
+};
+
+} // namespace halo
+
+#endif // HALO_RUNTIME_RUNTIME_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * One shared-nothing dataplane worker.
+ *
+ * A Worker owns a private SimMemory and a complete SwitchShard
+ * (hierarchy, core model, optional HALO complex, VirtualSwitch) — no
+ * simulated state is shared between workers, so they scale without any
+ * cross-shard synchronization, the NFOS/shared-nothing argument applied
+ * to this codebase. Packets arrive through a single-producer ring and
+ * are drained in configurable batches through the host fast path
+ * (processPacket over warmed tables, untraced cuckoo scans underneath).
+ *
+ * Progress is published after every batch through PublishedCounter
+ * (relaxed atomics, see sim/stats.hh): any thread may snapshot a
+ * running worker without locks; the exact reduction — SwitchTotals and
+ * per-batch latencies — is read after join(), which orders everything.
+ */
+
+#ifndef HALO_RUNTIME_WORKER_HH
+#define HALO_RUNTIME_WORKER_HH
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/packet.hh"
+#include "runtime/spsc_ring.hh"
+#include "sim/stats.hh"
+#include "vswitch/shard.hh"
+
+namespace halo {
+
+/** Per-worker configuration. */
+struct WorkerConfig
+{
+    unsigned id = 0;
+    std::size_t ringCapacity = 1024;
+    /// Packets drained per ring visit (DPDK-style burst size).
+    unsigned batchSize = 32;
+    /// Capacity of the worker's private simulated memory.
+    std::uint64_t shardMemBytes = 1ull << 30;
+    ShardConfig shard;
+    bool warmTables = true;
+};
+
+/** Plain snapshot of a worker's published counters. */
+struct WorkerCounters
+{
+    std::uint64_t packets = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t matched = 0;
+    std::uint64_t emcHits = 0;
+    /// CPU time (CLOCK_THREAD_CPUTIME_ID) spent inside processPacket
+    /// batches — excludes ring-empty idling and preemption.
+    std::uint64_t busyNanos = 0;
+};
+
+class Worker
+{
+  public:
+    /** Builds the private shard and installs @p rules into it; the
+     *  thread is not started until start(). */
+    Worker(const WorkerConfig &config, const RuleSet &rules);
+    ~Worker();
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
+    unsigned id() const { return cfg.id; }
+
+    /** The worker's ingress ring. Single producer: whoever dispatches
+     *  to this worker must be one thread at a time. */
+    SpscRing<Packet> &ring() { return ring_; }
+
+    void start();
+
+    /** Ask the thread to exit once its ring is empty. The producer
+     *  must have quiesced first or the drain guarantee is void. */
+    void requestStop();
+
+    void join();
+    bool joinable() const { return thread_.joinable(); }
+
+    /** Lock-free snapshot; callable from any thread while running. */
+    WorkerCounters counters() const;
+
+    /** @name Post-join accessors (exact, single-threaded again) */
+    /**@{*/
+    VirtualSwitch &vswitch() { return shard_.vswitch(); }
+    const SwitchTotals &totals() const
+    {
+        return shard_.vswitch().totals();
+    }
+    /** Wall-clock nanoseconds per drained batch, in batch order. */
+    const std::vector<std::uint64_t> &batchWallNanos() const
+    {
+        return batchNanos_;
+    }
+    /**@}*/
+
+  private:
+    void threadMain();
+
+    WorkerConfig cfg;
+    SimMemory mem_; ///< private, shared-nothing
+    SwitchShard shard_;
+    SpscRing<Packet> ring_;
+
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+
+    PublishedCounter packets_;
+    PublishedCounter batches_;
+    PublishedCounter matched_;
+    PublishedCounter emcHits_;
+    PublishedCounter busyNanos_;
+
+    std::vector<std::uint64_t> batchNanos_; ///< worker thread only
+    std::vector<Packet> batchBuf_;          ///< worker thread only
+};
+
+} // namespace halo
+
+#endif // HALO_RUNTIME_WORKER_HH

@@ -6,11 +6,23 @@
  * tests read them back by name or via typed references. Everything is
  * header-light and allocation-cheap because stats are bumped on the
  * simulator fast path (every cache access).
+ *
+ * Threading contract: Counter/Average/Histogram/StatGroup are plain
+ * (non-atomic) and deliberately stay that way — each simulated shard is
+ * single-threaded, and making every cache-access bump atomic would tax
+ * the simulator fast path for nothing. They must only be touched by the
+ * thread that owns the shard; in particular StatGroup::counter() can
+ * rehash its map, so even concurrent *reads* from another thread are a
+ * data race. Cross-thread aggregation (the multi-worker runtime's stats
+ * reduction) goes through PublishedCounter below: workers publish with
+ * relaxed atomic stores after each batch, and any thread may snapshot
+ * the published values at any time without locks.
  */
 
 #ifndef HALO_SIM_STATS_HH
 #define HALO_SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -32,6 +44,43 @@ class Counter
 
   private:
     std::uint64_t count = 0;
+};
+
+/**
+ * Single-writer counter whose value may be read from any thread.
+ *
+ * The owning thread accumulates with add(); because there is exactly
+ * one writer, the update is a relaxed load+store pair rather than an
+ * atomic RMW, so publishing costs no more than a plain increment plus
+ * a store on x86. Readers on other threads see an eventually-consistent
+ * monotonic snapshot — relaxed ordering is sufficient because snapshots
+ * carry no synchronization obligations (the final, exact reduction
+ * happens after the owning thread is joined, which orders everything).
+ */
+class PublishedCounter
+{
+  public:
+    PublishedCounter() = default;
+    PublishedCounter(const PublishedCounter &) = delete;
+    PublishedCounter &operator=(const PublishedCounter &) = delete;
+
+    /** Owner thread only. */
+    void
+    add(std::uint64_t n)
+    {
+        v.store(v.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+    }
+
+    /** Any thread. */
+    std::uint64_t value() const { return v.load(std::memory_order_relaxed); }
+
+    /** Owner thread only, and only while no reader expects
+     *  monotonicity (e.g. between runs). */
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v{0};
 };
 
 /** Running mean/min/max of a sampled quantity. */

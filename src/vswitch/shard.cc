@@ -1,0 +1,23 @@
+#include "vswitch/shard.hh"
+
+namespace halo {
+
+SwitchShard::SwitchShard(SimMemory &memory, const ShardConfig &config)
+    : hier(config.hierarchy),
+      haloSys(config.useHalo
+                  ? std::make_unique<HaloSystem>(memory, hier, config.halo)
+                  : nullptr),
+      coreModel(hier, config.coreId),
+      vs(memory, hier, coreModel, haloSys.get(), config.vswitch)
+{
+}
+
+void
+SwitchShard::install(const RuleSet &rules, bool warm_tables)
+{
+    vs.installRules(rules);
+    if (warm_tables)
+        vs.warmTables();
+}
+
+} // namespace halo

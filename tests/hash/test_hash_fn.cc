@@ -101,6 +101,40 @@ TEST(AlternativeBucket, IsInvolution)
     }
 }
 
+TEST(XxMixSymmetric, CommutativeInEndpoints)
+{
+    const std::vector<std::uint8_t> a = bytesOf("endp-A"),
+                                    b = bytesOf("endp-B"),
+                                    tail = bytesOf("t");
+    for (std::uint64_t seed : {0ull, 0x1234ull, 0xffffffffull}) {
+        EXPECT_EQ(xxMixSymmetric(a, b, tail, seed),
+                  xxMixSymmetric(b, a, tail, seed));
+    }
+}
+
+TEST(XxMixSymmetric, SensitiveToTailAndSeed)
+{
+    const std::vector<std::uint8_t> a = bytesOf("endp-A"),
+                                    b = bytesOf("endp-B");
+    const auto base = xxMixSymmetric(a, b, bytesOf("t"), 7);
+    EXPECT_NE(base, xxMixSymmetric(a, b, bytesOf("u"), 7));
+    EXPECT_NE(base, xxMixSymmetric(a, b, bytesOf("t"), 8));
+    // And to the endpoint *set*, not just their order.
+    EXPECT_NE(base, xxMixSymmetric(a, a, bytesOf("t"), 7));
+}
+
+TEST(XxMixSymmetric, EqualEndpointsMatchConcatenation)
+{
+    // With a == b the ordering is a no-op: digest equals a plain xxMix
+    // over a || b || tail.
+    const std::vector<std::uint8_t> a = bytesOf("same");
+    std::vector<std::uint8_t> cat = a;
+    cat.insert(cat.end(), a.begin(), a.end());
+    cat.push_back('z');
+    EXPECT_EQ(xxMixSymmetric(a, a, bytesOf("z"), 42),
+              xxMix(cat, 42));
+}
+
 TEST(AlternativeBucket, UsuallyDiffersFromPrimary)
 {
     const std::uint64_t mask = 255;

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "flow/ruleset.hh"
+#include "runtime/runtime.hh"
+#include "vswitch/shard.hh"
+
+using namespace halo;
+
+namespace {
+
+/** Small deterministic workload shared by the runtime tests. */
+struct Workload
+{
+    TrafficConfig traffic;
+    RuleSet rules;
+
+    explicit Workload(std::uint64_t flows = 2000)
+    {
+        traffic = TrafficGenerator::scenarioConfig(
+            TrafficScenario::SmallFlowCount, flows);
+        TrafficGenerator gen(traffic);
+        rules = scenarioRules(TrafficScenario::SmallFlowCount,
+                              gen.flows(), 0x707);
+    }
+};
+
+RuntimeConfig
+smallConfig(unsigned workers)
+{
+    RuntimeConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.ringCapacity = 256;
+    cfg.batchSize = 16;
+    cfg.shardMemBytes = 512ull << 20;
+    cfg.enqueueRetries = 1024; // single-CPU CI: yield to starved workers
+    cfg.rss.symmetric = true;
+    return cfg;
+}
+
+} // namespace
+
+/**
+ * The SwitchShard constructor path must produce a datapath identical
+ * to the hand-wired setup benches use: same packets in, same totals
+ * (cycles, matches, EMC hits) out.
+ */
+TEST(SwitchShard, EquivalentToManualSetup)
+{
+    Workload wl(1000);
+
+    // Hand-wired shard (what benches/examples used to inline).
+    SimMemory manual_mem(512ull << 20);
+    MemoryHierarchy manual_hier{HierarchyConfig{}};
+    CoreModel manual_core(manual_hier, 0);
+    VirtualSwitch manual_vs(manual_mem, manual_hier, manual_core,
+                            nullptr, VSwitchConfig{});
+    manual_vs.installRules(wl.rules);
+    manual_vs.warmTables();
+
+    // SwitchShard path.
+    SimMemory shard_mem(512ull << 20);
+    SwitchShard shard(shard_mem, ShardConfig{});
+    shard.install(wl.rules);
+
+    TrafficGenerator gen_a(wl.traffic);
+    TrafficGenerator gen_b(wl.traffic);
+    for (int i = 0; i < 2000; ++i) {
+        manual_vs.processPacket(gen_a.nextPacket());
+        shard.vswitch().processPacket(gen_b.nextPacket());
+    }
+
+    const SwitchTotals &a = manual_vs.totals();
+    const SwitchTotals &b = shard.vswitch().totals();
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_EQ(a.emcHits, b.emcHits);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(Runtime, EndToEndAccountsEveryPacket)
+{
+    Workload wl;
+    const std::uint64_t packets = 20000;
+    Runtime rt(smallConfig(2), wl.rules);
+    const RuntimeReport rep = rt.run(wl.traffic, packets);
+
+    EXPECT_EQ(rep.aggregate.offered, packets);
+    EXPECT_EQ(rep.aggregate.enqueued + rep.aggregate.ringFullDrops,
+              packets);
+    // Drain guarantee: everything enqueued was processed.
+    EXPECT_EQ(rep.aggregate.processed, rep.aggregate.enqueued);
+    EXPECT_GT(rep.aggregate.matched, 0u);
+    EXPECT_GT(rep.aggregate.batches, 0u);
+    EXPECT_GT(rep.wallSeconds, 0.0);
+
+    // Per-worker reductions are consistent with the aggregate.
+    ASSERT_EQ(rep.workers.size(), 2u);
+    std::uint64_t sum = 0;
+    for (const WorkerReport &w : rep.workers) {
+        EXPECT_EQ(w.counters.packets, w.totals.packets);
+        EXPECT_GE(w.batchP99Nanos, w.batchP50Nanos);
+        sum += w.counters.packets;
+    }
+    EXPECT_EQ(sum, rep.aggregate.processed);
+}
+
+TEST(Runtime, SnapshotIsSafeAndMonotonicWhileRunning)
+{
+    Workload wl;
+    const std::uint64_t packets = 30000;
+    Runtime rt(smallConfig(2), wl.rules);
+    rt.start();
+    rt.startProducer(wl.traffic, packets);
+
+    // Aggregator thread (this one) polls while workers publish — the
+    // TSan job proves this is race-free.
+    std::uint64_t last = 0;
+    while (rt.snapshot().offered < packets) {
+        const RuntimeSnapshot s = rt.snapshot();
+        ASSERT_GE(s.processed, last);
+        ASSERT_LE(s.processed, s.enqueued);
+        last = s.processed;
+        std::this_thread::yield();
+    }
+
+    rt.joinProducer();
+    rt.drain();
+    rt.stop();
+    const RuntimeSnapshot fin = rt.snapshot();
+    EXPECT_EQ(fin.processed, fin.enqueued);
+    EXPECT_EQ(fin.offered, packets);
+}
+
+TEST(Runtime, RingFullBackpressureDropsAreCounted)
+{
+    Workload wl(200);
+    RuntimeConfig cfg = smallConfig(1);
+    cfg.ringCapacity = 8;
+    cfg.enqueueRetries = 0; // drop immediately, never block
+    Runtime rt(cfg, wl.rules);
+
+    // No workers running: the ring fills and every further offer must
+    // come back as a counted drop, with the producer never blocked.
+    TrafficGenerator gen(wl.traffic);
+    unsigned accepted = 0;
+    for (int i = 0; i < 100; ++i) {
+        const FiveTuple &t = gen.nextTuple();
+        accepted += rt.offer(Packet::fromTuple(t), t) ? 1 : 0;
+    }
+    const RuntimeSnapshot s = rt.snapshot();
+    EXPECT_EQ(s.offered, 100u);
+    EXPECT_EQ(accepted, s.enqueued);
+    EXPECT_EQ(s.enqueued, rt.worker(0).ring().capacity());
+    EXPECT_EQ(s.ringFullDrops, 100u - s.enqueued);
+
+    // Late-started workers still drain the backlog on stop.
+    rt.start();
+    rt.drain();
+    rt.stop();
+    EXPECT_EQ(rt.snapshot().processed, s.enqueued);
+}
+
+TEST(Runtime, SymmetricRssKeepsConnectionsOnOneShard)
+{
+    Workload wl;
+    RuntimeConfig cfg = smallConfig(4);
+    Runtime rt(cfg, wl.rules);
+
+    TrafficGenerator gen(wl.traffic);
+    for (int i = 0; i < 500; ++i) {
+        const FiveTuple t = gen.nextTuple();
+        FiveTuple r = t;
+        std::swap(r.srcIp, r.dstIp);
+        std::swap(r.srcPort, r.dstPort);
+        ASSERT_EQ(rt.dispatcher().shardFor(t),
+                  rt.dispatcher().shardFor(r));
+    }
+}

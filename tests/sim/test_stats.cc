@@ -5,11 +5,36 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace halo {
 namespace {
+
+TEST(PublishedCounter, SingleWriterConcurrentReader)
+{
+    PublishedCounter c;
+    constexpr std::uint64_t target = 200000;
+
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < target; ++i)
+            c.add(1);
+    });
+
+    // Reader sees an eventually-consistent monotonic value.
+    std::uint64_t last = 0;
+    while (last < target) {
+        const std::uint64_t v = c.value();
+        ASSERT_GE(v, last);
+        ASSERT_LE(v, target);
+        last = v;
+        std::this_thread::yield();
+    }
+    writer.join();
+    EXPECT_EQ(c.value(), target);
+}
 
 TEST(Counter, IncrementAndAdd)
 {
