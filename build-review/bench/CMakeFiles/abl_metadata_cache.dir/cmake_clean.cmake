@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_metadata_cache.dir/abl_metadata_cache.cc.o"
+  "CMakeFiles/abl_metadata_cache.dir/abl_metadata_cache.cc.o.d"
+  "abl_metadata_cache"
+  "abl_metadata_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_metadata_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scoreboard.dir/abl_scoreboard.cc.o"
+  "CMakeFiles/abl_scoreboard.dir/abl_scoreboard.cc.o.d"
+  "abl_scoreboard"
+  "abl_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

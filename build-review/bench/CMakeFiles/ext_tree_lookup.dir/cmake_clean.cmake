@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tree_lookup.dir/ext_tree_lookup.cc.o"
+  "CMakeFiles/ext_tree_lookup.dir/ext_tree_lookup.cc.o.d"
+  "ext_tree_lookup"
+  "ext_tree_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tree_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hash_cache.dir/fig04_hash_cache.cc.o"
+  "CMakeFiles/fig04_hash_cache.dir/fig04_hash_cache.cc.o.d"
+  "fig04_hash_cache"
+  "fig04_hash_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hash_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

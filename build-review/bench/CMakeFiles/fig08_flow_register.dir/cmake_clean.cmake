@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_flow_register.dir/fig08_flow_register.cc.o"
+  "CMakeFiles/fig08_flow_register.dir/fig08_flow_register.cc.o.d"
+  "fig08_flow_register"
+  "fig08_flow_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_flow_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_single_lookup.dir/fig09_single_lookup.cc.o"
+  "CMakeFiles/fig09_single_lookup.dir/fig09_single_lookup.cc.o.d"
+  "fig09_single_lookup"
+  "fig09_single_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_latency_breakdown.cc" "bench/CMakeFiles/fig10_latency_breakdown.dir/fig10_latency_breakdown.cc.o" "gcc" "bench/CMakeFiles/fig10_latency_breakdown.dir/fig10_latency_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/halo_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tcam/CMakeFiles/halo_tcam.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/halo_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vswitch/CMakeFiles/halo_vswitch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nf/CMakeFiles/halo_nf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/halo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cpu/CMakeFiles/halo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/halo_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hash/CMakeFiles/halo_hash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/halo_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tuple_space.dir/fig11_tuple_space.cc.o"
+  "CMakeFiles/fig11_tuple_space.dir/fig11_tuple_space.cc.o.d"
+  "fig11_tuple_space"
+  "fig11_tuple_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tuple_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

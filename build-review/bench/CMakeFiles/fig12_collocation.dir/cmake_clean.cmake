@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_collocation.dir/fig12_collocation.cc.o"
+  "CMakeFiles/fig12_collocation.dir/fig12_collocation.cc.o.d"
+  "fig12_collocation"
+  "fig12_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nf_speedup.dir/fig13_nf_speedup.cc.o"
+  "CMakeFiles/fig13_nf_speedup.dir/fig13_nf_speedup.cc.o.d"
+  "fig13_nf_speedup"
+  "fig13_nf_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nf_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

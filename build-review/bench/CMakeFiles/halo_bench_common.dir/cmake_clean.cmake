@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/halo_bench_common.dir/bench_common.cc.o.d"
+  "libhalo_bench_common.a"
+  "libhalo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

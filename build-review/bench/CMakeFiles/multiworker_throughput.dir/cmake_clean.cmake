@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiworker_throughput.dir/multiworker_throughput.cc.o"
+  "CMakeFiles/multiworker_throughput.dir/multiworker_throughput.cc.o.d"
+  "multiworker_throughput"
+  "multiworker_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiworker_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

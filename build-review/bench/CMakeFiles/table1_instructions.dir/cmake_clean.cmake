@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_instructions.dir/table1_instructions.cc.o"
+  "CMakeFiles/table1_instructions.dir/table1_instructions.cc.o.d"
+  "table1_instructions"
+  "table1_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

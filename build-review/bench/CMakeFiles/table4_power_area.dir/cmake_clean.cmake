@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_power_area.dir/table4_power_area.cc.o"
+  "CMakeFiles/table4_power_area.dir/table4_power_area.cc.o.d"
+  "table4_power_area"
+  "table4_power_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_adaptive.dir/hybrid_adaptive.cpp.o"
+  "CMakeFiles/hybrid_adaptive.dir/hybrid_adaptive.cpp.o.d"
+  "hybrid_adaptive"
+  "hybrid_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

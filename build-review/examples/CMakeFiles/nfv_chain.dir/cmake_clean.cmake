@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_chain.dir/nfv_chain.cpp.o"
+  "CMakeFiles/nfv_chain.dir/nfv_chain.cpp.o.d"
+  "nfv_chain"
+  "nfv_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

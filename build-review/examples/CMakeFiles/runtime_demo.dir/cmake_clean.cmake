@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_demo.dir/runtime_demo.cpp.o"
+  "CMakeFiles/runtime_demo.dir/runtime_demo.cpp.o.d"
+  "runtime_demo"
+  "runtime_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

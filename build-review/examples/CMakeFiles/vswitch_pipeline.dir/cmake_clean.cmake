@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vswitch_pipeline.dir/vswitch_pipeline.cpp.o"
+  "CMakeFiles/vswitch_pipeline.dir/vswitch_pipeline.cpp.o.d"
+  "vswitch_pipeline"
+  "vswitch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vswitch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

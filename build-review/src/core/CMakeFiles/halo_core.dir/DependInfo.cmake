@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cc" "src/core/CMakeFiles/halo_core.dir/accelerator.cc.o" "gcc" "src/core/CMakeFiles/halo_core.dir/accelerator.cc.o.d"
+  "/root/repo/src/core/distributor.cc" "src/core/CMakeFiles/halo_core.dir/distributor.cc.o" "gcc" "src/core/CMakeFiles/halo_core.dir/distributor.cc.o.d"
+  "/root/repo/src/core/flow_register.cc" "src/core/CMakeFiles/halo_core.dir/flow_register.cc.o" "gcc" "src/core/CMakeFiles/halo_core.dir/flow_register.cc.o.d"
+  "/root/repo/src/core/halo_system.cc" "src/core/CMakeFiles/halo_core.dir/halo_system.cc.o" "gcc" "src/core/CMakeFiles/halo_core.dir/halo_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hash/CMakeFiles/halo_hash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cpu/CMakeFiles/halo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/halo_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/halo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_core.dir/accelerator.cc.o"
+  "CMakeFiles/halo_core.dir/accelerator.cc.o.d"
+  "CMakeFiles/halo_core.dir/distributor.cc.o"
+  "CMakeFiles/halo_core.dir/distributor.cc.o.d"
+  "CMakeFiles/halo_core.dir/flow_register.cc.o"
+  "CMakeFiles/halo_core.dir/flow_register.cc.o.d"
+  "CMakeFiles/halo_core.dir/halo_system.cc.o"
+  "CMakeFiles/halo_core.dir/halo_system.cc.o.d"
+  "libhalo_core.a"
+  "libhalo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_cpu.dir/core_model.cc.o"
+  "CMakeFiles/halo_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/halo_cpu.dir/trace_builder.cc.o"
+  "CMakeFiles/halo_cpu.dir/trace_builder.cc.o.d"
+  "libhalo_cpu.a"
+  "libhalo_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

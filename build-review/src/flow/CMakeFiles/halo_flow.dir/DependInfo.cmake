@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/decision_tree.cc" "src/flow/CMakeFiles/halo_flow.dir/decision_tree.cc.o" "gcc" "src/flow/CMakeFiles/halo_flow.dir/decision_tree.cc.o.d"
+  "/root/repo/src/flow/emc.cc" "src/flow/CMakeFiles/halo_flow.dir/emc.cc.o" "gcc" "src/flow/CMakeFiles/halo_flow.dir/emc.cc.o.d"
+  "/root/repo/src/flow/ruleset.cc" "src/flow/CMakeFiles/halo_flow.dir/ruleset.cc.o" "gcc" "src/flow/CMakeFiles/halo_flow.dir/ruleset.cc.o.d"
+  "/root/repo/src/flow/tuple_space.cc" "src/flow/CMakeFiles/halo_flow.dir/tuple_space.cc.o" "gcc" "src/flow/CMakeFiles/halo_flow.dir/tuple_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hash/CMakeFiles/halo_hash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/halo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_flow.dir/decision_tree.cc.o"
+  "CMakeFiles/halo_flow.dir/decision_tree.cc.o.d"
+  "CMakeFiles/halo_flow.dir/emc.cc.o"
+  "CMakeFiles/halo_flow.dir/emc.cc.o.d"
+  "CMakeFiles/halo_flow.dir/ruleset.cc.o"
+  "CMakeFiles/halo_flow.dir/ruleset.cc.o.d"
+  "CMakeFiles/halo_flow.dir/tuple_space.cc.o"
+  "CMakeFiles/halo_flow.dir/tuple_space.cc.o.d"
+  "libhalo_flow.a"
+  "libhalo_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

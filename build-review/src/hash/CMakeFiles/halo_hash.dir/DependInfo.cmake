@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/cuckoo_table.cc" "src/hash/CMakeFiles/halo_hash.dir/cuckoo_table.cc.o" "gcc" "src/hash/CMakeFiles/halo_hash.dir/cuckoo_table.cc.o.d"
+  "/root/repo/src/hash/hash_fn.cc" "src/hash/CMakeFiles/halo_hash.dir/hash_fn.cc.o" "gcc" "src/hash/CMakeFiles/halo_hash.dir/hash_fn.cc.o.d"
+  "/root/repo/src/hash/sfh_table.cc" "src/hash/CMakeFiles/halo_hash.dir/sfh_table.cc.o" "gcc" "src/hash/CMakeFiles/halo_hash.dir/sfh_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_hash.dir/cuckoo_table.cc.o"
+  "CMakeFiles/halo_hash.dir/cuckoo_table.cc.o.d"
+  "CMakeFiles/halo_hash.dir/hash_fn.cc.o"
+  "CMakeFiles/halo_hash.dir/hash_fn.cc.o.d"
+  "CMakeFiles/halo_hash.dir/sfh_table.cc.o"
+  "CMakeFiles/halo_hash.dir/sfh_table.cc.o.d"
+  "libhalo_hash.a"
+  "libhalo_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

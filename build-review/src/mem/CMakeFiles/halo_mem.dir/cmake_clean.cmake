@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_mem.dir/cache.cc.o"
+  "CMakeFiles/halo_mem.dir/cache.cc.o.d"
+  "CMakeFiles/halo_mem.dir/dram.cc.o"
+  "CMakeFiles/halo_mem.dir/dram.cc.o.d"
+  "CMakeFiles/halo_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/halo_mem.dir/hierarchy.cc.o.d"
+  "libhalo_mem.a"
+  "libhalo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

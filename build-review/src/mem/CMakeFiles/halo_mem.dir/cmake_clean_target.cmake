@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhalo_mem.a"
+)

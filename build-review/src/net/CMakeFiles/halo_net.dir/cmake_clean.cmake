@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_net.dir/headers.cc.o"
+  "CMakeFiles/halo_net.dir/headers.cc.o.d"
+  "CMakeFiles/halo_net.dir/packet.cc.o"
+  "CMakeFiles/halo_net.dir/packet.cc.o.d"
+  "CMakeFiles/halo_net.dir/traffic_gen.cc.o"
+  "CMakeFiles/halo_net.dir/traffic_gen.cc.o.d"
+  "libhalo_net.a"
+  "libhalo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

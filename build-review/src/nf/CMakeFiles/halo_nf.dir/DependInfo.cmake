@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/acl.cc" "src/nf/CMakeFiles/halo_nf.dir/acl.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/acl.cc.o.d"
+  "/root/repo/src/nf/mtcp_lite.cc" "src/nf/CMakeFiles/halo_nf.dir/mtcp_lite.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/mtcp_lite.cc.o.d"
+  "/root/repo/src/nf/nat.cc" "src/nf/CMakeFiles/halo_nf.dir/nat.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/nat.cc.o.d"
+  "/root/repo/src/nf/packet_filter.cc" "src/nf/CMakeFiles/halo_nf.dir/packet_filter.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/packet_filter.cc.o.d"
+  "/root/repo/src/nf/prads.cc" "src/nf/CMakeFiles/halo_nf.dir/prads.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/prads.cc.o.d"
+  "/root/repo/src/nf/snort_lite.cc" "src/nf/CMakeFiles/halo_nf.dir/snort_lite.cc.o" "gcc" "src/nf/CMakeFiles/halo_nf.dir/snort_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hash/CMakeFiles/halo_hash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cpu/CMakeFiles/halo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/halo_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/halo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/halo_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_nf.dir/acl.cc.o"
+  "CMakeFiles/halo_nf.dir/acl.cc.o.d"
+  "CMakeFiles/halo_nf.dir/mtcp_lite.cc.o"
+  "CMakeFiles/halo_nf.dir/mtcp_lite.cc.o.d"
+  "CMakeFiles/halo_nf.dir/nat.cc.o"
+  "CMakeFiles/halo_nf.dir/nat.cc.o.d"
+  "CMakeFiles/halo_nf.dir/packet_filter.cc.o"
+  "CMakeFiles/halo_nf.dir/packet_filter.cc.o.d"
+  "CMakeFiles/halo_nf.dir/prads.cc.o"
+  "CMakeFiles/halo_nf.dir/prads.cc.o.d"
+  "CMakeFiles/halo_nf.dir/snort_lite.cc.o"
+  "CMakeFiles/halo_nf.dir/snort_lite.cc.o.d"
+  "libhalo_nf.a"
+  "libhalo_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_power.dir/power_model.cc.o"
+  "CMakeFiles/halo_power.dir/power_model.cc.o.d"
+  "libhalo_power.a"
+  "libhalo_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

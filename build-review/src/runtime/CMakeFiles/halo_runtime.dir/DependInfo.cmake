@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/rss.cc" "src/runtime/CMakeFiles/halo_runtime.dir/rss.cc.o" "gcc" "src/runtime/CMakeFiles/halo_runtime.dir/rss.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/halo_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/halo_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/worker.cc" "src/runtime/CMakeFiles/halo_runtime.dir/worker.cc.o" "gcc" "src/runtime/CMakeFiles/halo_runtime.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/halo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hash/CMakeFiles/halo_hash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/halo_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vswitch/CMakeFiles/halo_vswitch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/halo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cpu/CMakeFiles/halo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/halo_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/halo_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

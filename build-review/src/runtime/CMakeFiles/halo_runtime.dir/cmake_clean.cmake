@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_runtime.dir/rss.cc.o"
+  "CMakeFiles/halo_runtime.dir/rss.cc.o.d"
+  "CMakeFiles/halo_runtime.dir/runtime.cc.o"
+  "CMakeFiles/halo_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/halo_runtime.dir/worker.cc.o"
+  "CMakeFiles/halo_runtime.dir/worker.cc.o.d"
+  "libhalo_runtime.a"
+  "libhalo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

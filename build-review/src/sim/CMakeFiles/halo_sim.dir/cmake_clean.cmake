@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_sim.dir/random.cc.o"
+  "CMakeFiles/halo_sim.dir/random.cc.o.d"
+  "CMakeFiles/halo_sim.dir/stats.cc.o"
+  "CMakeFiles/halo_sim.dir/stats.cc.o.d"
+  "libhalo_sim.a"
+  "libhalo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_tcam.dir/tcam.cc.o"
+  "CMakeFiles/halo_tcam.dir/tcam.cc.o.d"
+  "libhalo_tcam.a"
+  "libhalo_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_vswitch.dir/shard.cc.o"
+  "CMakeFiles/halo_vswitch.dir/shard.cc.o.d"
+  "CMakeFiles/halo_vswitch.dir/vswitch.cc.o"
+  "CMakeFiles/halo_vswitch.dir/vswitch.cc.o.d"
+  "libhalo_vswitch.a"
+  "libhalo_vswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_vswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_accelerator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_accelerator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_coherence_bounds.cc.o"
+  "CMakeFiles/test_core.dir/core/test_coherence_bounds.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_equivalence.cc.o"
+  "CMakeFiles/test_core.dir/core/test_equivalence.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_flow_register.cc.o"
+  "CMakeFiles/test_core.dir/core/test_flow_register.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_lookup_isa.cc.o"
+  "CMakeFiles/test_core.dir/core/test_lookup_isa.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_core_model.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_model.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_trace_builder.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_trace_builder.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

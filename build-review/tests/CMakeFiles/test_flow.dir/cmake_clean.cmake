@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/flow/test_decision_tree.cc.o"
+  "CMakeFiles/test_flow.dir/flow/test_decision_tree.cc.o.d"
+  "CMakeFiles/test_flow.dir/flow/test_flow.cc.o"
+  "CMakeFiles/test_flow.dir/flow/test_flow.cc.o.d"
+  "test_flow"
+  "test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/hash/test_cuckoo.cc.o"
+  "CMakeFiles/test_hash.dir/hash/test_cuckoo.cc.o.d"
+  "CMakeFiles/test_hash.dir/hash/test_hash_fn.cc.o"
+  "CMakeFiles/test_hash.dir/hash/test_hash_fn.cc.o.d"
+  "CMakeFiles/test_hash.dir/hash/test_sfh.cc.o"
+  "CMakeFiles/test_hash.dir/hash/test_sfh.cc.o.d"
+  "test_hash"
+  "test_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

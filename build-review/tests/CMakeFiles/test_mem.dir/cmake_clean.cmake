@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_sim_memory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_sim_memory.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf.dir/nf/test_nf.cc.o"
+  "CMakeFiles/test_nf.dir/nf/test_nf.cc.o.d"
+  "test_nf"
+  "test_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_random.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_random.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcam_power.dir/tcam/test_tcam_power.cc.o"
+  "CMakeFiles/test_tcam_power.dir/tcam/test_tcam_power.cc.o.d"
+  "test_tcam_power"
+  "test_tcam_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcam_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

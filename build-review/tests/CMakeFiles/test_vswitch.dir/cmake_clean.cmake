@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vswitch.dir/vswitch/test_burst_nb.cc.o"
+  "CMakeFiles/test_vswitch.dir/vswitch/test_burst_nb.cc.o.d"
+  "CMakeFiles/test_vswitch.dir/vswitch/test_openflow_layer.cc.o"
+  "CMakeFiles/test_vswitch.dir/vswitch/test_openflow_layer.cc.o.d"
+  "CMakeFiles/test_vswitch.dir/vswitch/test_vswitch.cc.o"
+  "CMakeFiles/test_vswitch.dir/vswitch/test_vswitch.cc.o.d"
+  "test_vswitch"
+  "test_vswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build-review/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;14;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build-review/tests/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;19;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hash "/root/repo/build-review/tests/test_hash")
+set_tests_properties(test_hash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;24;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cpu "/root/repo/build-review/tests/test_cpu")
+set_tests_properties(test_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;29;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build-review/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;33;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_flow "/root/repo/build-review/tests/test_flow")
+set_tests_properties(test_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;36;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-review/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;40;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tcam_power "/root/repo/build-review/tests/test_tcam_power")
+set_tests_properties(test_tcam_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;47;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vswitch "/root/repo/build-review/tests/test_vswitch")
+set_tests_properties(test_vswitch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;50;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nf "/root/repo/build-review/tests/test_nf")
+set_tests_properties(test_nf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;55;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build-review/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;58;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build-review/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;61;halo_add_test;/root/repo/tests/CMakeLists.txt;0;")
