@@ -17,12 +17,15 @@
  *
  * Usage:
  *   host_throughput [--out FILE] [--baseline FILE] [--min-time SECS]
+ *                   [--prom FILE]
  *
  *   --out      JSON output path (default BENCH_host_throughput.json)
  *   --baseline a previous output of this harness (e.g. one produced
  *              from the seed tree); its numbers are embedded under
  *              "seed" and per-benchmark speedups are computed
  *   --min-time minimum measured wall time per benchmark (default 0.5)
+ *   --prom     also write the results in Prometheus text exposition
+ *              format (halo_host_ops_per_sec{bench="..."})
  */
 
 #include <algorithm>
@@ -39,6 +42,8 @@
 #include "flow/emc.hh"
 #include "flow/ruleset.hh"
 #include "flow/tuple_space.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "vswitch/vswitch.hh"
 
 using namespace halo;
@@ -255,7 +260,9 @@ parseBaseline(const std::string &path)
     std::string line;
     bool in_ops = false;
     while (std::getline(in, line)) {
-        if (line.find("\"ops_per_sec\"") != std::string::npos) {
+        // Only the object opener, not the `"unit": "ops_per_sec"` line.
+        if (line.find("\"ops_per_sec\"") != std::string::npos &&
+            line.find('{') != std::string::npos) {
             in_ops = true;
             continue;
         }
@@ -275,6 +282,11 @@ parseBaseline(const std::string &path)
     return base;
 }
 
+/**
+ * The "ops_per_sec" object shape (one `"name": value` line per bench,
+ * %.1f values) is load-bearing: parseBaseline() above reads it back, so
+ * any output of this harness can serve as a --baseline for a later one.
+ */
 void
 writeJson(const std::string &path, const Results &res,
           const std::map<std::string, double> &baseline)
@@ -284,45 +296,49 @@ writeJson(const std::string &path, const Results &res,
         std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
         std::exit(1);
     }
-    out << "{\n";
-    out << "  \"benchmark\": \"host_throughput\",\n";
-    out << "  \"unit\": \"ops_per_sec\",\n";
-    out << "  \"min_time_sec\": " << minTime << ",\n";
-    out << "  \"ops_per_sec\": {\n";
-    for (std::size_t i = 0; i < res.opsPerSec.size(); ++i) {
-        const auto &[name, ops] = res.opsPerSec[i];
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.1f", ops);
-        out << "    \"" << name << "\": " << buf
-            << (i + 1 < res.opsPerSec.size() ? ",\n" : "\n");
-    }
-    out << "  }";
+    obs::JsonWriter j(out);
+    j.beginObject();
+    j.kv("benchmark", "host_throughput");
+    j.kv("unit", "ops_per_sec");
+    j.kv("min_time_sec", minTime);
+    j.key("ops_per_sec").beginObject();
+    for (const auto &[name, ops] : res.opsPerSec)
+        j.kv(name, ops, 1);
+    j.endObject();
     if (!baseline.empty()) {
-        out << ",\n  \"seed\": {\n";
-        std::size_t i = 0;
-        for (const auto &[name, ops] : baseline) {
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%.1f", ops);
-            out << "    \"" << name << "\": " << buf
-                << (++i < baseline.size() ? ",\n" : "\n");
-        }
-        out << "  },\n  \"speedup_vs_seed\": {\n";
-        i = 0;
+        j.key("seed").beginObject();
+        for (const auto &[name, ops] : baseline)
+            j.kv(name, ops, 1);
+        j.endObject();
+        j.key("speedup_vs_seed").beginObject();
         for (const auto &[name, ops] : res.opsPerSec) {
             const auto it = baseline.find(name);
-            const double speedup =
-                (it != baseline.end() && it->second > 0)
-                    ? ops / it->second
-                    : 0.0;
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%.2f", speedup);
-            out << "    \"" << name << "\": " << buf
-                << (++i < res.opsPerSec.size() ? ",\n" : "\n");
+            j.kv(name,
+                 it != baseline.end() && it->second > 0
+                     ? ops / it->second
+                     : 0.0,
+                 2);
         }
-        out << "  }";
+        j.endObject();
     }
-    out << "\n}\n";
+    j.endObject();
     std::printf("\nwrote %s\n", path.c_str());
+}
+
+void
+writeProm(const std::string &path, const Results &res)
+{
+    obs::MetricsRegistry reg;
+    reg.gauge("halo_host_min_time_sec", {}, minTime);
+    for (const auto &[name, ops] : res.opsPerSec)
+        reg.gauge("halo_host_ops_per_sec", {{"bench", name}}, ops);
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    reg.writePrometheus(out);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace
@@ -332,6 +348,7 @@ main(int argc, char **argv)
 {
     std::string outPath = "BENCH_host_throughput.json";
     std::string baselinePath;
+    std::string promPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
@@ -340,10 +357,12 @@ main(int argc, char **argv)
             baselinePath = argv[++i];
         } else if (arg == "--min-time" && i + 1 < argc) {
             minTime = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--prom" && i + 1 < argc) {
+            promPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--baseline FILE] "
-                         "[--min-time SECS]\n",
+                         "[--min-time SECS] [--prom FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -369,5 +388,7 @@ main(int argc, char **argv)
     if (!baselinePath.empty())
         baseline = parseBaseline(baselinePath);
     writeJson(outPath, res, baseline);
+    if (!promPath.empty())
+        writeProm(promPath, res);
     return 0;
 }

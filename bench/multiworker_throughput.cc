@@ -5,7 +5,8 @@
  * Drives the src/runtime/ layer — RSS producer, SPSC rings, N
  * shared-nothing VirtualSwitch shards — over the ManyFlows scenario and
  * reports aggregate processPacket throughput at 1/2/4/8 workers, plus
- * per-worker batch-latency percentiles and ring-full drop counts.
+ * per-worker batch-latency percentiles (merged HdrHistograms) and
+ * ring-full drop counts.
  *
  * Methodology: CI hosts frequently expose a single CPU, so wall-clock
  * throughput of N threads cannot show shared-nothing scaling there. Each
@@ -16,14 +17,27 @@
  * shards sustain when each owns a core. Wall-clock packets/sec is
  * reported alongside for reference.
  *
+ * Observability: a background sampler snapshots the runtime's published
+ * counters and ring depths on a fixed interval and the resulting time
+ * series is embedded in the JSON (drop storms and RSS skew show up over
+ * time instead of as one end-of-run total). --trace captures per-worker
+ * Chrome trace_event JSON; --prom dumps the final run's metrics in
+ * Prometheus text exposition format.
+ *
  * Usage:
  *   multiworker_throughput [--out FILE] [--packets N] [--smoke]
+ *                          [--trace FILE] [--prom FILE] [--sample-us N]
  *
- *   --out     JSON output path (default BENCH_multiworker.json)
- *   --packets packets per run (default 200000)
- *   --smoke   CI mode: 2 workers only, small counts; exits nonzero
- *             unless throughput is nonzero and every enqueued packet
- *             was processed
+ *   --out       JSON output path (default BENCH_multiworker.json)
+ *   --packets   packets per run (default 200000)
+ *   --smoke     CI mode: 2 workers only, small counts; exits nonzero
+ *               unless throughput is nonzero, every enqueued packet
+ *               was processed, and the sampler recorded samples
+ *   --trace     write the last run's Chrome trace here (open in
+ *               chrome://tracing or https://ui.perfetto.dev)
+ *   --prom      write the last run's metrics as Prometheus text
+ *   --sample-us sampler interval in microseconds (0 disables;
+ *               default 2000)
  */
 
 #include <cstdint>
@@ -36,6 +50,8 @@
 
 #include "bench_common.hh"
 #include "flow/ruleset.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "runtime/runtime.hh"
 
 using namespace halo;
@@ -57,13 +73,34 @@ struct ScaleResult
         std::uint64_t busyNanos = 0;
         double cpuPps = 0.0;
         double batchP50Us = 0.0;
+        double batchP90Us = 0.0;
         double batchP99Us = 0.0;
+        double batchP999Us = 0.0;
     };
     std::vector<PerWorker> perWorker;
+    /// Merged-histogram latency percentiles across all workers (us).
+    double batchP50Us = 0.0;
+    double batchP90Us = 0.0;
+    double batchP99Us = 0.0;
+    double batchP999Us = 0.0;
+    obs::SampleSeries samples;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
+};
+
+struct Options
+{
+    std::string outPath = "BENCH_multiworker.json";
+    std::string tracePath;
+    std::string promPath;
+    std::uint64_t packets = 200000;
+    std::uint64_t sampleMicros = 2000;
+    bool smoke = false;
 };
 
 ScaleResult
-runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets)
+runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets,
+        const Options &opt, bool last_run)
 {
     const TrafficConfig traffic = TrafficGenerator::scenarioConfig(
         TrafficScenario::ManyFlows, flows);
@@ -82,9 +119,23 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets)
     // Single-CPU hosts: bounded yields hand the core to starved workers
     // instead of spinning the producer; overflow still drops, counted.
     cfg.enqueueRetries = 65536;
+    cfg.samplerIntervalMicros = opt.sampleMicros;
+    if (!opt.tracePath.empty() && last_run)
+        cfg.traceCapacity = 1 << 15; // 512 KiB per worker
 
     Runtime rt(cfg, rules);
     const RuntimeReport rep = rt.run(traffic, packets);
+
+    if (cfg.traceCapacity) {
+        std::ofstream trace(opt.tracePath);
+        if (!trace) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.tracePath.c_str());
+            std::exit(1);
+        }
+        rt.writeChromeTrace(trace);
+        std::printf("wrote %s\n", opt.tracePath.c_str());
+    }
 
     ScaleResult res;
     res.workers = workers;
@@ -95,6 +146,11 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets)
                       ? static_cast<double>(rep.aggregate.processed) /
                             rep.wallSeconds
                       : 0.0;
+    res.batchP50Us = rep.batchP50Nanos / 1e3;
+    res.batchP90Us = rep.batchP90Nanos / 1e3;
+    res.batchP99Us = rep.batchP99Nanos / 1e3;
+    res.batchP999Us = rep.batchP999Nanos / 1e3;
+    res.samples = rep.samples;
     for (const WorkerReport &w : rep.workers) {
         ScaleResult::PerWorker pw;
         pw.packets = w.counters.packets;
@@ -104,31 +160,99 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets)
                               static_cast<double>(w.counters.busyNanos)
                         : 0.0;
         pw.batchP50Us = w.batchP50Nanos / 1e3;
+        pw.batchP90Us = w.batchP90Nanos / 1e3;
         pw.batchP99Us = w.batchP99Nanos / 1e3;
+        pw.batchP999Us = w.batchP999Nanos / 1e3;
         res.aggregateCpuPps += pw.cpuPps;
         res.perWorker.push_back(pw);
     }
+    for (unsigned w = 0; w < rt.numWorkers(); ++w) {
+        if (const obs::TraceRecorder *rec = rt.worker(w).traceRecorder()) {
+            res.traceEvents += rec->recorded();
+            res.traceDropped += rec->dropped();
+        }
+    }
+
+    if (!opt.promPath.empty() && last_run) {
+        // One namespace over both metric families: the runtime's
+        // published counters and each shard's StatGroups, labeled per
+        // worker.
+        obs::MetricsRegistry reg;
+        reg.counter("halo_rt_offered", {}, double(res.offered));
+        reg.counter("halo_rt_processed", {}, double(res.processed));
+        reg.counter("halo_rt_ring_full_drops", {},
+                    double(res.ringFullDrops));
+        reg.gauge("halo_rt_aggregate_cpu_pps", {}, res.aggregateCpuPps);
+        for (unsigned w = 0; w < rt.numWorkers(); ++w) {
+            const std::string id = std::to_string(w);
+            const auto &pw = res.perWorker[w];
+            reg.counter("halo_worker_packets", {{"worker", id}},
+                        double(pw.packets));
+            reg.counter("halo_worker_busy_nanos", {{"worker", id}},
+                        double(pw.busyNanos));
+            reg.gauge("halo_worker_cpu_pps", {{"worker", id}},
+                      pw.cpuPps);
+            reg.gauge("halo_worker_batch_p99_us", {{"worker", id}},
+                      pw.batchP99Us);
+            reg.addStatGroup(rt.worker(w).shard().hierarchy().stats(),
+                             {{"worker", id}});
+        }
+        std::ofstream prom(opt.promPath);
+        if (!prom) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.promPath.c_str());
+            std::exit(1);
+        }
+        reg.writePrometheus(prom);
+        std::printf("wrote %s\n", opt.promPath.c_str());
+    }
 
     std::printf("%u worker%s: %10.0f pkt/s aggregate (cpu-time), "
-                "%9.0f pkt/s wall, %llu drops\n",
+                "%9.0f pkt/s wall, %llu drops, %zu samples\n",
                 workers, workers == 1 ? " " : "s", res.aggregateCpuPps,
                 res.wallPps,
-                static_cast<unsigned long long>(res.ringFullDrops));
+                static_cast<unsigned long long>(res.ringFullDrops),
+                res.samples.samples());
     for (const auto &pw : res.perWorker)
         std::printf("    worker: %8llu pkts  %10.0f pkt/s  "
-                    "batch p50 %7.1f us  p99 %7.1f us\n",
+                    "batch p50 %7.1f us  p99 %7.1f us  p999 %7.1f us\n",
                     static_cast<unsigned long long>(pw.packets),
-                    pw.cpuPps, pw.batchP50Us, pw.batchP99Us);
+                    pw.cpuPps, pw.batchP50Us, pw.batchP99Us,
+                    pw.batchP999Us);
     return res;
 }
 
 void
-writeJson(const std::string &path, const std::vector<ScaleResult> &runs,
-          std::uint64_t flows, std::uint64_t packets, bool smoke)
+writeSeries(obs::JsonWriter &j, const obs::SampleSeries &s)
 {
-    std::ofstream out(path);
+    j.beginObject();
+    j.key("columns").beginArray();
+    for (const std::string &c : s.columns)
+        j.value(c);
+    j.endArray();
+    j.key("t_nanos").beginArray();
+    for (const std::uint64_t t : s.tNanos)
+        j.value(t);
+    j.endArray();
+    j.key("rows").beginArray();
+    for (const auto &row : s.rows) {
+        j.beginArray();
+        for (const double v : row)
+            j.value(v, 1);
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+void
+writeJson(const Options &opt, const std::vector<ScaleResult> &runs,
+          std::uint64_t flows, std::uint64_t packets)
+{
+    std::ofstream out(opt.outPath);
     if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.outPath.c_str());
         std::exit(1);
     }
     const double base =
@@ -136,54 +260,65 @@ writeJson(const std::string &path, const std::vector<ScaleResult> &runs,
                 runs.front().aggregateCpuPps > 0.0
             ? runs.front().aggregateCpuPps
             : 0.0;
-    char buf[64];
-    out << "{\n";
-    out << "  \"benchmark\": \"multiworker_throughput\",\n";
-    out << "  \"scenario\": \"ManyFlows\",\n";
-    out << "  \"flows\": " << flows << ",\n";
-    out << "  \"packets_per_run\": " << packets << ",\n";
-    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-    out << "  \"host_cpus\": "
-        << std::thread::hardware_concurrency() << ",\n";
-    out << "  \"methodology\": \"aggregate_cpu_pps sums per-worker "
-           "CLOCK_THREAD_CPUTIME_ID rates (packets / busy nanoseconds "
-           "inside processPacket batches): the shared-nothing throughput "
-           "when each worker owns a core, immune to preemption on "
-           "CPU-constrained hosts. wall_pps is processed / wall seconds "
-           "on this host for reference.\",\n";
-    out << "  \"runs\": [\n";
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const ScaleResult &r = runs[i];
-        out << "    {\n";
-        out << "      \"workers\": " << r.workers << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.1f", r.aggregateCpuPps);
-        out << "      \"aggregate_cpu_pps\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.2f",
-                      base > 0.0 ? r.aggregateCpuPps / base : 0.0);
-        out << "      \"speedup_vs_1worker\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.1f", r.wallPps);
-        out << "      \"wall_pps\": " << buf << ",\n";
-        out << "      \"offered\": " << r.offered << ",\n";
-        out << "      \"processed\": " << r.processed << ",\n";
-        out << "      \"ring_full_drops\": " << r.ringFullDrops << ",\n";
-        out << "      \"per_worker\": [\n";
-        for (std::size_t w = 0; w < r.perWorker.size(); ++w) {
-            const auto &pw = r.perWorker[w];
-            out << "        {\"packets\": " << pw.packets
-                << ", \"busy_nanos\": " << pw.busyNanos;
-            std::snprintf(buf, sizeof(buf), "%.1f", pw.cpuPps);
-            out << ", \"cpu_pps\": " << buf;
-            std::snprintf(buf, sizeof(buf), "%.1f", pw.batchP50Us);
-            out << ", \"batch_p50_us\": " << buf;
-            std::snprintf(buf, sizeof(buf), "%.1f", pw.batchP99Us);
-            out << ", \"batch_p99_us\": " << buf << "}"
-                << (w + 1 < r.perWorker.size() ? ",\n" : "\n");
+
+    obs::JsonWriter j(out);
+    j.beginObject();
+    j.kv("benchmark", "multiworker_throughput");
+    j.kv("scenario", "ManyFlows");
+    j.kv("flows", flows);
+    j.kv("packets_per_run", packets);
+    j.kv("smoke", opt.smoke);
+    j.kv("host_cpus", std::thread::hardware_concurrency());
+    j.kv("sampler_interval_us", opt.sampleMicros);
+    j.kv("tracing_compiled_in", obs::traceCompiledIn());
+    j.kv("methodology",
+         "aggregate_cpu_pps sums per-worker CLOCK_THREAD_CPUTIME_ID "
+         "rates (packets / busy nanoseconds inside processPacket "
+         "batches): the shared-nothing throughput when each worker owns "
+         "a core, immune to preemption on CPU-constrained hosts. "
+         "wall_pps is processed / wall seconds on this host for "
+         "reference. batch_p* come from merged per-worker "
+         "HdrHistograms; samples is the background sampler time "
+         "series.");
+    j.key("runs").beginArray();
+    for (const ScaleResult &r : runs) {
+        j.beginObject();
+        j.kv("workers", r.workers);
+        j.kv("aggregate_cpu_pps", r.aggregateCpuPps, 1);
+        j.kv("speedup_vs_1worker",
+             base > 0.0 ? r.aggregateCpuPps / base : 0.0, 2);
+        j.kv("wall_pps", r.wallPps, 1);
+        j.kv("offered", r.offered);
+        j.kv("processed", r.processed);
+        j.kv("ring_full_drops", r.ringFullDrops);
+        j.kv("batch_p50_us", r.batchP50Us, 1);
+        j.kv("batch_p90_us", r.batchP90Us, 1);
+        j.kv("batch_p99_us", r.batchP99Us, 1);
+        j.kv("batch_p999_us", r.batchP999Us, 1);
+        if (!r.samples.columns.empty()) {
+            j.key("samples");
+            writeSeries(j, r.samples);
         }
-        out << "      ]\n";
-        out << "    }" << (i + 1 < runs.size() ? ",\n" : "\n");
+        if (r.traceEvents)
+            j.kv("trace_events", r.traceEvents);
+        j.key("per_worker").beginArray();
+        for (const auto &pw : r.perWorker) {
+            j.beginObject();
+            j.kv("packets", pw.packets);
+            j.kv("busy_nanos", pw.busyNanos);
+            j.kv("cpu_pps", pw.cpuPps, 1);
+            j.kv("batch_p50_us", pw.batchP50Us, 1);
+            j.kv("batch_p90_us", pw.batchP90Us, 1);
+            j.kv("batch_p99_us", pw.batchP99Us, 1);
+            j.kv("batch_p999_us", pw.batchP999Us, 1);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
     }
-    out << "  ]\n}\n";
-    std::printf("\nwrote %s\n", path.c_str());
+    j.endArray();
+    j.endObject();
+    std::printf("\nwrote %s\n", opt.outPath.c_str());
 }
 
 } // namespace
@@ -191,53 +326,73 @@ writeJson(const std::string &path, const std::vector<ScaleResult> &runs,
 int
 main(int argc, char **argv)
 {
-    std::string outPath = "BENCH_multiworker.json";
-    std::uint64_t packets = 200000;
-    bool smoke = false;
+    Options opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
-            outPath = argv[++i];
+            opt.outPath = argv[++i];
         } else if (arg == "--packets" && i + 1 < argc) {
-            packets = std::strtoull(argv[++i], nullptr, 10);
+            opt.packets = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.tracePath = argv[++i];
+        } else if (arg == "--prom" && i + 1 < argc) {
+            opt.promPath = argv[++i];
+        } else if (arg == "--sample-us" && i + 1 < argc) {
+            opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--smoke") {
-            smoke = true;
+            opt.smoke = true;
         } else {
-            std::fprintf(
-                stderr,
-                "usage: %s [--out FILE] [--packets N] [--smoke]\n",
-                argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE] [--packets N] "
+                         "[--smoke] [--trace FILE] [--prom FILE] "
+                         "[--sample-us N]\n",
+                         argv[0]);
             return 2;
         }
     }
 
     banner("Multi-worker host throughput",
            "shared-nothing runtime scaling over ManyFlows");
+    if (!opt.tracePath.empty() && !obs::traceCompiledIn())
+        std::fprintf(stderr,
+                     "warning: built with HALO_TRACING=OFF; the trace "
+                     "will contain no spans\n");
 
-    const std::uint64_t flows = smoke ? 10000 : 100000;
-    if (smoke && packets == 200000)
-        packets = 20000;
+    const std::uint64_t flows = opt.smoke ? 10000 : 100000;
+    if (opt.smoke && opt.packets == 200000)
+        opt.packets = 20000;
     const std::vector<unsigned> counts =
-        smoke ? std::vector<unsigned>{2}
-              : std::vector<unsigned>{1, 2, 4, 8};
+        opt.smoke ? std::vector<unsigned>{2}
+                  : std::vector<unsigned>{1, 2, 4, 8};
 
     std::vector<ScaleResult> runs;
-    for (unsigned n : counts)
-        runs.push_back(runOnce(n, flows, packets));
-    writeJson(outPath, runs, flows, packets, smoke);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        runs.push_back(runOnce(counts[i], flows, opt.packets, opt,
+                               i + 1 == counts.size()));
+    writeJson(opt, runs, flows, opt.packets);
 
-    if (smoke) {
+    if (opt.smoke) {
         const ScaleResult &r = runs.front();
+        const bool samplerOk =
+            opt.sampleMicros == 0 || r.samples.samples() > 0;
+        const bool traceOk = opt.tracePath.empty() ||
+                             !obs::traceCompiledIn() ||
+                             r.traceEvents > 0;
         if (r.aggregateCpuPps <= 0.0 || r.processed == 0 ||
-            r.processed != r.offered - r.ringFullDrops) {
+            r.processed != r.offered - r.ringFullDrops || !samplerOk ||
+            !traceOk) {
             std::fprintf(stderr,
                          "smoke FAILED: pps=%.1f processed=%llu "
-                         "offered=%llu drops=%llu\n",
+                         "offered=%llu drops=%llu samples=%zu "
+                         "trace_events=%llu\n",
                          r.aggregateCpuPps,
                          static_cast<unsigned long long>(r.processed),
                          static_cast<unsigned long long>(r.offered),
                          static_cast<unsigned long long>(
-                             r.ringFullDrops));
+                             r.ringFullDrops),
+                         r.samples.samples(),
+                         static_cast<unsigned long long>(
+                             r.traceEvents));
             return 1;
         }
         std::printf("smoke OK\n");

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * HDR-style latency histogram: log-bucketed, fixed memory, mergeable.
+ *
+ * Records unsigned 64-bit values (nanoseconds, cycles, bytes — any
+ * non-negative magnitude) into a fixed array of counters whose bucket
+ * widths grow exponentially: values below 2^subBucketBits are counted
+ * exactly, and every larger value lands in a bucket whose width is at
+ * most value / 2^subBucketBits, bounding the relative quantization
+ * error of any reported percentile by 2^-subBucketBits (~3.1% at the
+ * default 5 bits). Memory is fixed at construction — recording never
+ * allocates, so a worker can bump it on the per-batch fast path and a
+ * run over a billion packets costs the same 16 KiB as an idle one.
+ *
+ * Histograms with the same subBucketBits merge by plain counter
+ * addition, which is how the runtime reduces per-worker latency
+ * distributions into one report without ever materializing the raw
+ * samples (the unbounded per-batch vectors this type replaced).
+ *
+ * Threading contract: like the plain stats types (see sim/stats.hh),
+ * an HdrHistogram is single-writer with no internal synchronization.
+ * Record from the owning thread only; merge/read after that thread has
+ * quiesced (the runtime merges after join(), which orders everything).
+ */
+
+#ifndef HALO_OBS_HISTOGRAM_HH
+#define HALO_OBS_HISTOGRAM_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace halo::obs {
+
+class HdrHistogram
+{
+  public:
+    /** @param sub_bucket_bits log2 of the sub-buckets per power of
+     *         two; precision is 2^-sub_bucket_bits of the value. */
+    explicit HdrHistogram(unsigned sub_bucket_bits = 5)
+        : subBits(sub_bucket_bits),
+          counts_((65 - sub_bucket_bits) << sub_bucket_bits, 0)
+    {
+        HALO_ASSERT(sub_bucket_bits >= 1 && sub_bucket_bits <= 16,
+                    "sub-bucket bits out of range");
+    }
+
+    /** Record one value. Never allocates, never saturates: the bucket
+     *  table spans the full uint64 range. */
+    void
+    record(std::uint64_t v)
+    {
+        ++counts_[indexOf(v)];
+        ++total_;
+        sum_ += v;
+        if (total_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Record @p n occurrences of @p v (used by merges and tests). */
+    void
+    record(std::uint64_t v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        counts_[indexOf(v)] += n;
+        if (total_ == 0 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+        total_ += n;
+        sum_ += v * n;
+    }
+
+    /** Add @p other's counts into this histogram. Both must use the
+     *  same sub-bucket resolution. */
+    void
+    merge(const HdrHistogram &other)
+    {
+        HALO_ASSERT(subBits == other.subBits,
+                    "cannot merge histograms of different resolution");
+        if (other.total_ == 0)
+            return;
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        if (total_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        total_ += other.total_;
+        sum_ += other.sum_;
+    }
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t min() const { return total_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1], linearly interpolated within
+     * the containing bucket and clamped to the exact recorded
+     * [min, max]. q <= 0 returns min(); q >= 1 returns max(); an empty
+     * histogram returns 0.
+     */
+    double
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        if (q <= 0.0)
+            return static_cast<double>(min_);
+        if (q >= 1.0)
+            return static_cast<double>(max_);
+        // Rank of the q-th sample, 1-based: ceil(q * total).
+        const double exact = q * static_cast<double>(total_);
+        std::uint64_t rank = static_cast<std::uint64_t>(exact);
+        if (static_cast<double>(rank) < exact)
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            const std::uint64_t c = counts_[i];
+            if (c == 0)
+                continue;
+            if (cum + c >= rank) {
+                // Interpolate the (rank - cum)-th sample of this
+                // bucket across its value range [lo, hi).
+                const double lo = static_cast<double>(bucketLow(i));
+                const double hi = static_cast<double>(bucketHigh(i));
+                const double frac =
+                    (static_cast<double>(rank - cum) - 0.5) /
+                    static_cast<double>(c);
+                double v = lo + frac * (hi - lo);
+                if (v < static_cast<double>(min_))
+                    v = static_cast<double>(min_);
+                if (v > static_cast<double>(max_))
+                    v = static_cast<double>(max_);
+                return v;
+            }
+            cum += c;
+        }
+        return static_cast<double>(max_); // unreachable when total_ > 0
+    }
+
+    /** @name Bucket introspection (tests, exposition) */
+    /**@{*/
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Inclusive lower bound of bucket @p i. */
+    std::uint64_t
+    bucketLow(std::size_t i) const
+    {
+        const std::uint64_t sub = 1ull << subBits;
+        if (i < sub)
+            return i;
+        const std::uint64_t half = i / sub; // >= 1
+        const std::uint64_t pos = i % sub;
+        return (sub + pos) << (half - 1);
+    }
+
+    /** Exclusive upper bound of bucket @p i (saturates at 2^64-1 for
+     *  the topmost bucket). */
+    std::uint64_t
+    bucketHigh(std::size_t i) const
+    {
+        const std::uint64_t sub = 1ull << subBits;
+        if (i < sub)
+            return i + 1;
+        const std::uint64_t half = i / sub;
+        const std::uint64_t lo = bucketLow(i);
+        const std::uint64_t width = 1ull << (half - 1);
+        return lo + width < lo ? ~0ull : lo + width;
+    }
+    /**@}*/
+
+    unsigned subBucketBits() const { return subBits; }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::size_t
+    indexOf(std::uint64_t v) const
+    {
+        const std::uint64_t sub = 1ull << subBits;
+        if (v < sub)
+            return static_cast<std::size_t>(v);
+        const unsigned msb = 63u - static_cast<unsigned>(
+                                       std::countl_zero(v));
+        const unsigned shift = msb - subBits;
+        // (v >> shift) is in [sub, 2*sub): the sub-bucket within the
+        // power-of-two band; bands stack contiguously after the exact
+        // region.
+        return static_cast<std::size_t>(
+            ((shift + 1) << subBits) +
+            ((v >> shift) & (sub - 1)));
+    }
+
+    unsigned subBits;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0; ///< for mean(); may wrap for huge inputs
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace halo::obs
+
+#endif // HALO_OBS_HISTOGRAM_HH

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * One shared emission path for everything the repo writes as JSON —
+ * Chrome traces, BENCH_*.json files, sampler time series — replacing
+ * the per-bench hand-rolled printf formatting that made it easy to
+ * ship a stray comma. The writer tracks the container stack and emits
+ * separators and indentation itself; the caller only states structure:
+ *
+ *   JsonWriter j(out);
+ *   j.beginObject();
+ *   j.key("runs").beginArray();
+ *   j.beginObject().key("workers").value(4).endObject();
+ *   j.endArray();
+ *   j.endObject();
+ *
+ * Numbers: integral overloads print exactly; value(double) prints the
+ * shortest round-trippable form, value(double, precision) prints fixed
+ * decimals (what the bench files use so diffs stay stable). Strings
+ * are escaped per RFC 8259. Misnesting (value where a key is due,
+ * unbalanced end*) trips HALO_ASSERT rather than emitting bad JSON.
+ */
+
+#ifndef HALO_OBS_JSON_HH
+#define HALO_OBS_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace halo::obs {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, unsigned indent_width = 2)
+        : out(os), indentWidth(indent_width)
+    {
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    ~JsonWriter()
+    {
+        // Closing newline for files; only when the document completed.
+        if (stack.empty() && wroteRoot)
+            out << '\n';
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        beginValue();
+        out << '{';
+        stack.push_back(Frame{true, 0, false});
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        HALO_ASSERT(!stack.empty() && stack.back().isObject,
+                    "endObject outside an object");
+        HALO_ASSERT(!stack.back().keyPending, "dangling key");
+        closeContainer('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        beginValue();
+        out << '[';
+        stack.push_back(Frame{false, 0, false});
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        HALO_ASSERT(!stack.empty() && !stack.back().isObject,
+                    "endArray outside an array");
+        closeContainer(']');
+        return *this;
+    }
+
+    JsonWriter &
+    key(std::string_view k)
+    {
+        HALO_ASSERT(!stack.empty() && stack.back().isObject,
+                    "key outside an object");
+        HALO_ASSERT(!stack.back().keyPending, "two keys in a row");
+        separate();
+        writeString(k);
+        out << ": ";
+        stack.back().keyPending = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view v)
+    {
+        beginValue();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+
+    JsonWriter &
+    value(bool v)
+    {
+        beginValue();
+        out << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        beginValue();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        beginValue();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    /** Shortest representation that round-trips through a double. */
+    JsonWriter &
+    value(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        // Prefer a shorter form when it round-trips exactly.
+        for (int prec = 1; prec < 17; ++prec) {
+            char candidate[40];
+            std::snprintf(candidate, sizeof(candidate), "%.*g", prec, v);
+            double back = 0.0;
+            std::sscanf(candidate, "%lf", &back);
+            if (back == v) {
+                beginValue();
+                out << candidate;
+                return *this;
+            }
+        }
+        beginValue();
+        out << buf;
+        return *this;
+    }
+
+    /** Fixed-decimal double (bench-file style, stable diffs). */
+    JsonWriter &
+    value(double v, int precision)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        beginValue();
+        out << buf;
+        return *this;
+    }
+
+    /** @name key+value conveniences */
+    /**@{*/
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        return key(k).value(v);
+    }
+
+    JsonWriter &
+    kv(std::string_view k, double v, int precision)
+    {
+        return key(k).value(v, precision);
+    }
+    /**@}*/
+
+    /** True once the root value has been fully written. */
+    bool done() const { return stack.empty() && wroteRoot; }
+
+  private:
+    struct Frame
+    {
+        bool isObject;
+        std::uint64_t items;
+        bool keyPending;
+    };
+
+    void
+    beginValue()
+    {
+        if (stack.empty()) {
+            HALO_ASSERT(!wroteRoot, "second root value");
+            wroteRoot = true;
+            return;
+        }
+        Frame &f = stack.back();
+        if (f.isObject) {
+            HALO_ASSERT(f.keyPending, "object value without a key");
+            f.keyPending = false;
+        } else {
+            separate();
+        }
+        ++f.items;
+    }
+
+    /** Comma + newline + indent before an array element or object key. */
+    void
+    separate()
+    {
+        Frame &f = stack.back();
+        out << (f.items || f.keyPending ? ",\n" : "\n");
+        indent(stack.size());
+    }
+
+    void
+    closeContainer(char c)
+    {
+        const bool hadItems = stack.back().items != 0;
+        stack.pop_back();
+        if (hadItems) {
+            out << '\n';
+            indent(stack.size());
+        }
+        out << c;
+    }
+
+    void
+    indent(std::size_t depth)
+    {
+        for (std::size_t i = 0; i < depth * indentWidth; ++i)
+            out << ' ';
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        out << '"';
+        for (const char ch : s) {
+            switch (ch) {
+              case '"':
+                out << "\\\"";
+                break;
+              case '\\':
+                out << "\\\\";
+                break;
+              case '\n':
+                out << "\\n";
+                break;
+              case '\r':
+                out << "\\r";
+                break;
+              case '\t':
+                out << "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(ch)));
+                    out << buf;
+                } else {
+                    out << ch;
+                }
+            }
+        }
+        out << '"';
+    }
+
+    std::ostream &out;
+    unsigned indentWidth;
+    std::vector<Frame> stack;
+    bool wroteRoot = false;
+};
+
+} // namespace halo::obs
+
+#endif // HALO_OBS_JSON_HH

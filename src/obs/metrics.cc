@@ -1,0 +1,186 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace halo::obs {
+
+namespace {
+
+/** Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Label values escape backslash, double-quote and newline. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeValue(std::ostream &os, double v)
+{
+    // Integral values print exactly (counters are integers in spirit);
+    // everything else gets the shortest round-trippable decimal form.
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        os << buf;
+        return;
+    }
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v || prec == 17)
+            break;
+    }
+    os << buf;
+}
+
+} // namespace
+
+void
+MetricsRegistry::add(const std::string &name, MetricLabels labels,
+                     MetricKind kind, double value,
+                     std::function<double()> source)
+{
+    Metric m;
+    m.name = sanitizeName(name);
+    m.labels = std::move(labels);
+    m.kind = kind;
+    m.value = value;
+    m.source = std::move(source);
+    metrics_.push_back(std::move(m));
+}
+
+void
+MetricsRegistry::counter(const std::string &name, MetricLabels labels,
+                         double value_now)
+{
+    add(name, std::move(labels), MetricKind::Counter, value_now, {});
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, MetricLabels labels,
+                       double value_now)
+{
+    add(name, std::move(labels), MetricKind::Gauge, value_now, {});
+}
+
+void
+MetricsRegistry::attach(const std::string &name, MetricLabels labels,
+                        MetricKind kind, std::function<double()> source)
+{
+    add(name, std::move(labels), kind, 0.0, std::move(source));
+}
+
+void
+MetricsRegistry::attachCounter(const std::string &name,
+                               MetricLabels labels,
+                               const PublishedCounter &published)
+{
+    const PublishedCounter *p = &published;
+    add(name, std::move(labels), MetricKind::Counter, 0.0,
+        [p] { return static_cast<double>(p->value()); });
+}
+
+void
+MetricsRegistry::addStatGroup(const StatGroup &group, MetricLabels labels,
+                              const std::string &prefix)
+{
+    const StatGroup *g = &group;
+    g->forEachCounter([&](const std::string &stat, const Counter &c) {
+        const Counter *cp = &c;
+        add(prefix + g->name() + "_" + stat, labels, MetricKind::Counter,
+            0.0, [cp] { return static_cast<double>(cp->value()); });
+    });
+    g->forEachAverage([&](const std::string &stat, const Average &a) {
+        const Average *ap = &a;
+        add(prefix + g->name() + "_" + stat + "_mean", labels,
+            MetricKind::Gauge, 0.0, [ap] { return ap->mean(); });
+        add(prefix + g->name() + "_" + stat + "_samples", labels,
+            MetricKind::Counter, 0.0,
+            [ap] { return static_cast<double>(ap->samples()); });
+    });
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    // Exposition groups all samples of a family under one TYPE line.
+    // Sort by name, keeping registration order within a family so
+    // per-worker label series come out 0..N-1.
+    std::vector<const Metric *> sorted;
+    sorted.reserve(metrics_.size());
+    for (const Metric &m : metrics_)
+        sorted.push_back(&m);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Metric *a, const Metric *b) {
+                         return a->name < b->name;
+                     });
+
+    const std::string *lastFamily = nullptr;
+    for (const Metric *m : sorted) {
+        if (!lastFamily || *lastFamily != m->name) {
+            os << "# TYPE " << m->name << ' '
+               << (m->kind == MetricKind::Counter ? "counter" : "gauge")
+               << '\n';
+            lastFamily = &m->name;
+        }
+        os << m->name;
+        if (!m->labels.empty()) {
+            os << '{';
+            for (std::size_t i = 0; i < m->labels.size(); ++i) {
+                if (i)
+                    os << ',';
+                os << sanitizeName(m->labels[i].first) << "=\""
+                   << escapeLabelValue(m->labels[i].second) << '"';
+            }
+            os << '}';
+        }
+        os << ' ';
+        writeValue(os, m->source ? m->source() : m->value);
+        os << '\n';
+    }
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+} // namespace halo::obs

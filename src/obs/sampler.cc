@@ -1,0 +1,96 @@
+#include "obs/sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace halo::obs {
+
+Sampler::Sampler(std::vector<std::string> columns, SampleFn fn)
+    : fn_(std::move(fn))
+{
+    series_.columns = std::move(columns);
+    HALO_ASSERT(fn_, "sampler needs a sample function");
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::start(std::chrono::microseconds interval)
+{
+    HALO_ASSERT(!thread_.joinable(), "sampler already running");
+    HALO_ASSERT(interval.count() > 0, "sampler interval must be > 0");
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stopRequested_ = false;
+    }
+    thread_ = std::thread([this, interval] { threadMain(interval); });
+}
+
+void
+Sampler::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    thread_ = std::thread();
+}
+
+bool
+Sampler::running() const
+{
+    return thread_.joinable();
+}
+
+void
+Sampler::threadMain(std::chrono::microseconds interval)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto next = t0;
+    std::unique_lock<std::mutex> lock(mtx_);
+    // The first sample is unconditional — even a stop() that lands
+    // before this thread gets scheduled still yields the documented
+    // start sample plus the final one below.
+    bool stopping = false;
+    while (!stopping) {
+        // Sample outside the lock: the sample function may take a
+        // while (N relaxed reads) and stop() must never wait on it to
+        // acquire the flag.
+        lock.unlock();
+        sampleOnce(t0);
+        lock.lock();
+        next += interval;
+        // Fixed-rate schedule; a slow sample function skips ticks
+        // rather than bunching them.
+        const auto now = std::chrono::steady_clock::now();
+        while (next <= now)
+            next += interval;
+        stopping = cv_.wait_until(lock, next,
+                                  [this] { return stopRequested_; });
+    }
+    // Final sample so short runs always record their end state.
+    lock.unlock();
+    sampleOnce(t0);
+}
+
+void
+Sampler::sampleOnce(std::chrono::steady_clock::time_point t0)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<double> row = fn_();
+    HALO_ASSERT(row.size() == series_.columns.size(),
+                "sample row has ", row.size(), " values, expected ",
+                series_.columns.size());
+    series_.tNanos.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0)
+            .count()));
+    series_.rows.push_back(std::move(row));
+}
+
+} // namespace halo::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Background sampler: periodic lock-free snapshots as a time series.
+ *
+ * An end-of-run total can hide a drop storm that lasted 50 ms or one
+ * RSS shard running hot the whole time. The Sampler turns the
+ * runtime's lock-free counters into a time series: a dedicated thread
+ * wakes on a fixed interval, calls the user's sample function, and
+ * appends the returned row to a preallocated-friendly series that the
+ * bench JSON embeds after the run.
+ *
+ * Threading contract (matches sim/stats.hh): the sample function runs
+ * on the sampler thread and must restrict itself to reads that are
+ * safe from any thread — PublishedCounter::value(), SpscRing::size(),
+ * Runtime::snapshot() — i.e. relaxed-atomic reads only, never
+ * StatGroup access. The recorded series is written only by the
+ * sampler thread and must be read only after stop() has joined it;
+ * start/stop themselves may be called from any single controlling
+ * thread. stop() is idempotent and the destructor implies it.
+ */
+
+#ifndef HALO_OBS_SAMPLER_HH
+#define HALO_OBS_SAMPLER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace halo::obs {
+
+/** Columnar time series: one named column per sampled quantity. */
+struct SampleSeries
+{
+    std::vector<std::string> columns;
+    /// Nanoseconds since start() for each sample.
+    std::vector<std::uint64_t> tNanos;
+    /// rows[i] has one value per column, recorded at tNanos[i].
+    std::vector<std::vector<double>> rows;
+
+    std::size_t samples() const { return rows.size(); }
+};
+
+class Sampler
+{
+  public:
+    /** @param fn returns one value per @p column; see the threading
+     *  contract in the file comment for what it may read. */
+    using SampleFn = std::function<std::vector<double>()>;
+
+    Sampler(std::vector<std::string> columns, SampleFn fn);
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Spawn the sampler thread; one sample is taken immediately and
+     *  then every @p interval until stop(). */
+    void start(std::chrono::microseconds interval);
+
+    /** Take one final sample, stop and join the thread. Idempotent. */
+    void stop();
+
+    bool running() const;
+
+    /** The recorded series. Only coherent after stop(). */
+    const SampleSeries &series() const { return series_; }
+
+  private:
+    void threadMain(std::chrono::microseconds interval);
+    void sampleOnce(std::chrono::steady_clock::time_point t0);
+
+    SampleFn fn_;
+    SampleSeries series_; ///< sampler thread only, read post-join
+
+    std::thread thread_;
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false; ///< guarded by mtx_
+};
+
+} // namespace halo::obs
+
+#endif // HALO_OBS_SAMPLER_HH

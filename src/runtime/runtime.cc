@@ -1,24 +1,9 @@
 #include "runtime/runtime.hh"
 
-#include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace halo {
-
-namespace {
-
-double
-percentileNanos(std::vector<std::uint64_t> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
-}
-
-} // namespace
 
 Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
     : cfg(config),
@@ -39,6 +24,7 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         wc.shard = cfg.shard;
         wc.shard.coreId = w;
         wc.warmTables = cfg.warmTables;
+        wc.traceCapacity = cfg.traceCapacity;
         workers_.push_back(std::make_unique<Worker>(wc, rules));
     }
 }
@@ -133,6 +119,43 @@ Runtime::snapshot() const
     return s;
 }
 
+void
+Runtime::startSampler()
+{
+    if (cfg.samplerIntervalMicros == 0 || sampler_)
+        return;
+    std::vector<std::string> columns = {"offered", "processed",
+                                        "ring_full_drops"};
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+        columns.push_back("worker" + std::to_string(w) + "_ring_depth");
+    // The sample function runs on the sampler thread and restricts
+    // itself to relaxed-atomic reads (published counters, ring
+    // indices) per the stats threading contract.
+    sampler_ = std::make_unique<obs::Sampler>(
+        std::move(columns), [this]() {
+            std::vector<double> row;
+            row.reserve(3 + workers_.size());
+            row.push_back(static_cast<double>(offered_.value()));
+            std::uint64_t processed = 0;
+            for (const auto &w : workers_)
+                processed += w->counters().packets;
+            row.push_back(static_cast<double>(processed));
+            row.push_back(static_cast<double>(drops_.value()));
+            for (const auto &w : workers_)
+                row.push_back(static_cast<double>(w->ring().size()));
+            return row;
+        });
+    sampler_->start(
+        std::chrono::microseconds(cfg.samplerIntervalMicros));
+}
+
+void
+Runtime::stopSampler()
+{
+    if (sampler_)
+        sampler_->stop();
+}
+
 RuntimeReport
 Runtime::report() const
 {
@@ -143,11 +166,36 @@ Runtime::report() const
         WorkerReport wr;
         wr.counters = w->counters();
         wr.totals = w->totals();
-        wr.batchP50Nanos = percentileNanos(w->batchWallNanos(), 0.50);
-        wr.batchP99Nanos = percentileNanos(w->batchWallNanos(), 0.99);
-        rep.workers.push_back(wr);
+        wr.batchLatency = w->batchHistogram();
+        wr.batchP50Nanos = wr.batchLatency.percentile(0.50);
+        wr.batchP90Nanos = wr.batchLatency.percentile(0.90);
+        wr.batchP99Nanos = wr.batchLatency.percentile(0.99);
+        wr.batchP999Nanos = wr.batchLatency.percentile(0.999);
+        rep.batchLatency.merge(wr.batchLatency);
+        rep.workers.push_back(std::move(wr));
     }
+    rep.batchP50Nanos = rep.batchLatency.percentile(0.50);
+    rep.batchP90Nanos = rep.batchLatency.percentile(0.90);
+    rep.batchP99Nanos = rep.batchLatency.percentile(0.99);
+    rep.batchP999Nanos = rep.batchLatency.percentile(0.999);
+    if (sampler_ && !sampler_->running())
+        rep.samples = sampler_->series();
     return rep;
+}
+
+void
+Runtime::writeChromeTrace(std::ostream &os) const
+{
+    std::vector<obs::TraceThread> threads;
+    threads.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        obs::TraceThread t;
+        t.recorder = workers_[w]->traceRecorder();
+        t.label = "worker" + std::to_string(w);
+        t.tid = static_cast<unsigned>(w + 1);
+        threads.push_back(std::move(t));
+    }
+    obs::writeChromeTrace(os, threads);
 }
 
 RuntimeReport
@@ -155,11 +203,13 @@ Runtime::run(const TrafficConfig &traffic, std::uint64_t packets)
 {
     using SteadyClock = std::chrono::steady_clock;
     start();
+    startSampler();
     const auto t0 = SteadyClock::now();
     startProducer(traffic, packets);
     joinProducer();
     drain();
     const auto t1 = SteadyClock::now();
+    stopSampler();
     stop();
     RuntimeReport rep = report();
     rep.wallSeconds =

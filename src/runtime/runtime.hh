@@ -27,10 +27,12 @@
 #define HALO_RUNTIME_RUNTIME_HH
 
 #include <memory>
+#include <ostream>
 #include <thread>
 #include <vector>
 
 #include "net/traffic_gen.hh"
+#include "obs/sampler.hh"
 #include "runtime/rss.hh"
 #include "runtime/worker.hh"
 
@@ -50,6 +52,14 @@ struct RuntimeConfig
     /// (0 = drop immediately). Never an unbounded block.
     unsigned enqueueRetries = 0;
     bool warmTables = true;
+    /// Per-worker trace-event ring slots (0 = tracing off). See
+    /// WorkerConfig::traceCapacity.
+    std::size_t traceCapacity = 0;
+    /// Background sampler period in microseconds (0 = sampler off).
+    /// The sampler thread snapshots the published counters and ring
+    /// depths into RuntimeReport::samples — relaxed-atomic reads only,
+    /// it never touches shard state.
+    std::uint64_t samplerIntervalMicros = 0;
 };
 
 /** Lock-free aggregate view; coherent snapshot once workers quiesce. */
@@ -71,14 +81,28 @@ struct WorkerReport
 {
     WorkerCounters counters;
     SwitchTotals totals;
+    /// Batch wall latency, log-bucketed (bounded memory, mergeable).
+    obs::HdrHistogram batchLatency;
     double batchP50Nanos = 0.0;
+    double batchP90Nanos = 0.0;
     double batchP99Nanos = 0.0;
+    double batchP999Nanos = 0.0;
 };
 
 struct RuntimeReport
 {
     RuntimeSnapshot aggregate;
     std::vector<WorkerReport> workers;
+    /// Cross-worker merge of every batchLatency histogram.
+    obs::HdrHistogram batchLatency;
+    double batchP50Nanos = 0.0;
+    double batchP90Nanos = 0.0;
+    double batchP99Nanos = 0.0;
+    double batchP999Nanos = 0.0;
+    /// Sampler time series (empty unless samplerIntervalMicros > 0).
+    /// Columns: offered, processed, ring_full_drops, then one
+    /// worker<i>_ring_depth per worker.
+    obs::SampleSeries samples;
     /// Producer start → drain end; only set by run().
     double wallSeconds = 0.0;
 };
@@ -127,9 +151,23 @@ class Runtime
     /** Lock-free aggregate of the published counters; any thread. */
     RuntimeSnapshot snapshot() const;
 
-    /** Full reduction incl. SwitchTotals and latency percentiles.
-     *  Only valid after stop(). */
+    /** @name Background sampler (cfg.samplerIntervalMicros > 0)
+     *  run() manages the lifecycle itself; manual drivers call these
+     *  around their produce/drain sequence. */
+    /**@{*/
+    void startSampler();
+    void stopSampler();
+    /**@}*/
+
+    /** Full reduction incl. SwitchTotals and latency percentiles
+     *  (merged per-worker HdrHistograms). Only valid after stop(). */
     RuntimeReport report() const;
+
+    /** Drain every worker's TraceRecorder into one Chrome trace_event
+     *  JSON (open in chrome://tracing or Perfetto). Only valid after
+     *  stop(); empty trace when cfg.traceCapacity was 0 or tracing is
+     *  compiled out. */
+    void writeChromeTrace(std::ostream &os) const;
 
     /** Convenience: start → produce → drain → stop → report, with
      *  wallSeconds covering produce+drain. */
@@ -141,6 +179,7 @@ class Runtime
     RssDispatcher rss_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::thread producer_;
+    std::unique_ptr<obs::Sampler> sampler_;
 
     PublishedCounter offered_;
     PublishedCounter enqueued_;

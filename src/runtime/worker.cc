@@ -38,6 +38,8 @@ Worker::Worker(const WorkerConfig &config, const RuleSet &rules)
 {
     shard_.install(rules, cfg.warmTables);
     batchBuf_.resize(cfg.batchSize);
+    if (cfg.traceCapacity)
+        trace_ = std::make_unique<obs::TraceRecorder>(cfg.traceCapacity);
 }
 
 Worker::~Worker()
@@ -86,6 +88,11 @@ Worker::threadMain()
     using SteadyClock = std::chrono::steady_clock;
     VirtualSwitch &vs = shard_.vswitch();
 
+    // Route this thread's HALO_TRACE_SCOPE sites (here and down in the
+    // vswitch pipeline) into the worker's private ring, if configured.
+    obs::TraceRecorder *prev_rec =
+        obs::TraceRecorder::installThisThread(trace_.get());
+
     while (true) {
         const std::size_t n =
             ring_.popBatch(batchBuf_.data(), cfg.batchSize);
@@ -102,15 +109,18 @@ Worker::threadMain()
         const std::uint64_t cpu0 = threadCpuNanos();
         std::uint64_t matched = 0;
         std::uint64_t emc_hits = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            const PacketResult r = vs.processPacket(batchBuf_[i]);
-            matched += r.matched ? 1 : 0;
-            emc_hits += r.emcHit ? 1 : 0;
+        {
+            HALO_TRACE_SCOPE("worker/batch");
+            for (std::size_t i = 0; i < n; ++i) {
+                const PacketResult r = vs.processPacket(batchBuf_[i]);
+                matched += r.matched ? 1 : 0;
+                emc_hits += r.emcHit ? 1 : 0;
+            }
         }
         const std::uint64_t cpu1 = threadCpuNanos();
         const auto wall1 = SteadyClock::now();
 
-        batchNanos_.push_back(static_cast<std::uint64_t>(
+        batchHist_.record(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 -
                                                                  wall0)
                 .count()));
@@ -120,6 +130,8 @@ Worker::threadMain()
         emcHits_.add(emc_hits);
         busyNanos_.add(cpu1 - cpu0);
     }
+
+    obs::TraceRecorder::installThisThread(prev_rec);
 }
 
 } // namespace halo

@@ -13,17 +13,29 @@
  * Progress is published after every batch through PublishedCounter
  * (relaxed atomics, see sim/stats.hh): any thread may snapshot a
  * running worker without locks; the exact reduction — SwitchTotals and
- * per-batch latencies — is read after join(), which orders everything.
+ * the batch-latency HdrHistogram — is read after join(), which orders
+ * everything.
+ *
+ * Observability: per-batch wall latency goes into a fixed-memory
+ * obs::HdrHistogram (p50..p999 in bounded space, mergeable across
+ * workers) instead of an unbounded vector, and when traceCapacity is
+ * nonzero the thread installs a private obs::TraceRecorder so
+ * HALO_TRACE_SCOPE sites in the worker and the vswitch pipeline record
+ * into it; the runtime drains all recorders into one Chrome trace
+ * after stop().
  */
 
 #ifndef HALO_RUNTIME_WORKER_HH
 #define HALO_RUNTIME_WORKER_HH
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "net/packet.hh"
+#include "obs/histogram.hh"
+#include "obs/trace.hh"
 #include "runtime/spsc_ring.hh"
 #include "sim/stats.hh"
 #include "vswitch/shard.hh"
@@ -41,6 +53,10 @@ struct WorkerConfig
     std::uint64_t shardMemBytes = 1ull << 30;
     ShardConfig shard;
     bool warmTables = true;
+    /// Trace-event ring slots for this worker's TraceRecorder
+    /// (0 = no recorder; HALO_TRACE_SCOPE sites then cost one
+    /// thread-local check). 16 bytes per slot.
+    std::size_t traceCapacity = 0;
 };
 
 /** Plain snapshot of a worker's published counters. */
@@ -86,15 +102,21 @@ class Worker
 
     /** @name Post-join accessors (exact, single-threaded again) */
     /**@{*/
+    SwitchShard &shard() { return shard_; }
     VirtualSwitch &vswitch() { return shard_.vswitch(); }
     const SwitchTotals &totals() const
     {
         return shard_.vswitch().totals();
     }
-    /** Wall-clock nanoseconds per drained batch, in batch order. */
-    const std::vector<std::uint64_t> &batchWallNanos() const
+    /** Wall-clock nanoseconds per drained batch, log-bucketed. */
+    const obs::HdrHistogram &batchHistogram() const
     {
-        return batchNanos_;
+        return batchHist_;
+    }
+    /** Null unless cfg.traceCapacity was nonzero. */
+    const obs::TraceRecorder *traceRecorder() const
+    {
+        return trace_.get();
     }
     /**@}*/
 
@@ -115,7 +137,8 @@ class Worker
     PublishedCounter emcHits_;
     PublishedCounter busyNanos_;
 
-    std::vector<std::uint64_t> batchNanos_; ///< worker thread only
+    obs::HdrHistogram batchHist_;           ///< worker thread only
+    std::unique_ptr<obs::TraceRecorder> trace_; ///< worker thread only
     std::vector<Packet> batchBuf_;          ///< worker thread only
 };
 

@@ -1,0 +1,113 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cctype>
+#include <mutex>
+
+namespace halo {
+
+namespace {
+
+/** Parse HALO_LOG_LEVEL; unknown values keep the default. */
+int
+initialLevel()
+{
+    const char *env = std::getenv("HALO_LOG_LEVEL");
+    if (!env || !*env)
+        return static_cast<int>(LogLevel::Info);
+    std::string v;
+    for (const char *p = env; *p; ++p)
+        v.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p))));
+    if (v == "debug" || v == "0")
+        return static_cast<int>(LogLevel::Debug);
+    if (v == "info" || v == "1")
+        return static_cast<int>(LogLevel::Info);
+    if (v == "warn" || v == "warning" || v == "2")
+        return static_cast<int>(LogLevel::Warn);
+    if (v == "error" || v == "3")
+        return static_cast<int>(LogLevel::Error);
+    if (v == "off" || v == "none" || v == "4")
+        return static_cast<int>(LogLevel::Off);
+    return static_cast<int>(LogLevel::Info);
+}
+
+/** Level filter: relaxed atomic so the logEnabled() pre-check costs
+ *  one load on paths that end up emitting nothing. */
+std::atomic<int> &
+levelVar()
+{
+    static std::atomic<int> level{initialLevel()};
+    return level;
+}
+
+/** Sink + the lock that serializes every emission through it. */
+struct SinkState
+{
+    std::mutex mtx;
+    LogSink sink; ///< empty = default stderr sink
+};
+
+SinkState &
+sinkState()
+{
+    static SinkState s;
+    return s;
+}
+
+void
+defaultSink(LogLevel, std::string_view line)
+{
+    // One fwrite per line: even if a foreign thread writes stderr
+    // concurrently, this line lands contiguously.
+    std::string buf(line);
+    buf.push_back('\n');
+    std::fwrite(buf.data(), 1, buf.size(), stderr);
+}
+
+} // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    SinkState &s = sinkState();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.sink = std::move(sink);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelVar().load(std::memory_order_relaxed));
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           levelVar().load(std::memory_order_relaxed);
+}
+
+void
+logLine(LogLevel level, std::string line)
+{
+    if (!logEnabled(level))
+        return;
+    SinkState &s = sinkState();
+    // The lock both protects the sink pointer and serializes sink
+    // calls, which is what lets sinks skip their own locking.
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (s.sink)
+        s.sink(level, line);
+    else
+        defaultSink(level, line);
+}
+
+} // namespace halo

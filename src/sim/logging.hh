@@ -6,6 +6,16 @@
  * fatal()  — the user asked for something the simulator cannot do.
  * warn()   — something is questionable but simulation continues.
  * inform() — purely informative status output.
+ *
+ * warn()/inform() route through a leveled, pluggable sink (see
+ * LogLevel/setLogSink below). Emission is thread-safe: the full line
+ * is built first and handed to the sink as one string under a lock,
+ * so concurrent workers never interleave fragments. The minimum level
+ * defaults to Info and can be overridden per process with the
+ * HALO_LOG_LEVEL environment variable ("debug", "info", "warn",
+ * "error", "off", or a numeral 0-4), or at runtime with
+ * setLogLevel(). panic()/fatal() are exceptions, not log lines, and
+ * bypass the sink.
  */
 
 #ifndef HALO_SIM_LOGGING_HH
@@ -13,11 +23,46 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace halo {
+
+/** Severity of a log line; Off disables everything. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/**
+ * Receives one complete log line (no trailing newline). Calls are
+ * serialized by the logging layer — a sink needs no locking of its
+ * own and its output cannot interleave.
+ */
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/** Install @p sink (nullptr restores the default stderr sink). */
+void setLogSink(LogSink sink);
+
+/** Minimum level that reaches the sink. Initialized from
+ *  HALO_LOG_LEVEL on first use; this overrides it. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** True when a line at @p level would be emitted (cheap pre-check so
+ *  callers can skip formatting). */
+bool logEnabled(LogLevel level);
+
+/** Filter on level, then hand the finished line to the sink as one
+ *  write. Safe to call from any thread. */
+void logLine(LogLevel level, std::string line);
 
 /** Exception thrown by panic(); a simulator bug. */
 class PanicError : public std::logic_error
@@ -80,20 +125,31 @@ fatal(const Args &...args)
     throw FatalError(detail::concat("fatal: ", args...));
 }
 
-/** Report a suspicious but non-fatal condition to stderr. */
+/** Report a suspicious but non-fatal condition (LogLevel::Warn). */
 template <typename... Args>
 void
 warn(const Args &...args)
 {
-    std::fputs(detail::concat("warn: ", args..., "\n").c_str(), stderr);
+    if (logEnabled(LogLevel::Warn))
+        logLine(LogLevel::Warn, detail::concat("warn: ", args...));
 }
 
-/** Report normal status to stderr. */
+/** Report normal status (LogLevel::Info). */
 template <typename... Args>
 void
 inform(const Args &...args)
 {
-    std::fputs(detail::concat("info: ", args..., "\n").c_str(), stderr);
+    if (logEnabled(LogLevel::Info))
+        logLine(LogLevel::Info, detail::concat("info: ", args...));
+}
+
+/** Verbose diagnostics, off by default (LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(const Args &...args)
+{
+    if (logEnabled(LogLevel::Debug))
+        logLine(LogLevel::Debug, detail::concat("debug: ", args...));
 }
 
 /** panic() unless @p cond holds. */

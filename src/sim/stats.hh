@@ -123,6 +123,16 @@ class Average
 /**
  * Fixed-bucket histogram over [lo, hi); out-of-range samples land in
  * saturating underflow/overflow buckets.
+ *
+ * Saturation semantics: a sample below @p lo is counted in the
+ * underflow bucket and thereafter *behaves as if its value were
+ * exactly lo*; a sample at or above @p hi is counted in the overflow
+ * bucket and behaves as if it were hi. In particular percentile()
+ * returns lo for any rank that falls into the underflow mass and hi
+ * for any rank in the overflow mass — the true magnitude of
+ * out-of-range samples is not retained. Size the [lo, hi) range to
+ * cover the distribution if the tails matter (or use
+ * obs::HdrHistogram, which covers the full uint64 range).
  */
 class Histogram
 {
@@ -159,6 +169,49 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t total() const { return total_; }
+
+    /**
+     * Value at quantile @p q in [0, 1], linearly interpolated within
+     * the containing bucket. Underflow/overflow ranks saturate to lo
+     * and hi respectively (see the class comment); an empty histogram
+     * returns lo.
+     */
+    double
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return low;
+        if (q < 0.0)
+            q = 0.0;
+        if (q > 1.0)
+            q = 1.0;
+        // 1-based rank of the q-th sample: ceil(q * total).
+        const double exact = q * static_cast<double>(total_);
+        std::uint64_t rank = static_cast<std::uint64_t>(exact);
+        if (static_cast<double>(rank) < exact)
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+
+        if (rank <= underflow_)
+            return low; // saturated below the range
+        std::uint64_t cum = underflow_;
+        const double width =
+            (high - low) / static_cast<double>(counts.size());
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            const std::uint64_t c = counts[i];
+            if (c == 0)
+                continue;
+            if (cum + c >= rank) {
+                const double frac =
+                    (static_cast<double>(rank - cum) - 0.5) /
+                    static_cast<double>(c);
+                return low + (static_cast<double>(i) + frac) * width;
+            }
+            cum += c;
+        }
+        return high; // saturated above the range
+    }
 
   private:
     double low;
@@ -214,6 +267,27 @@ class StatGroup
     {
         return counters_.count(stat_name) != 0;
     }
+
+    /** @name Enumeration (metric exposition, dumps)
+     *  Visits statistics in name order. Only from the owning thread,
+     *  or after it has quiesced (see the file threading contract). */
+    /**@{*/
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        for (const auto &kv : counters_)
+            fn(kv.first, kv.second);
+    }
+
+    template <typename Fn>
+    void
+    forEachAverage(Fn &&fn) const
+    {
+        for (const auto &kv : averages_)
+            fn(kv.first, kv.second);
+    }
+    /**@}*/
 
     /** Reset every statistic in the group. */
     void

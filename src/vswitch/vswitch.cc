@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace halo {
@@ -102,6 +103,7 @@ void
 VirtualSwitch::openflowUpcall(const FiveTuple &tuple, PacketResult &res,
                               Cycles &now)
 {
+    HALO_TRACE_SCOPE("vswitch/upcall");
     // The OpenFlow layer searches EVERY tuple and keeps the highest
     // priority match (paper SS2.2) — strictly slower than MegaFlow.
     const auto key = tuple.toKey();
@@ -348,6 +350,7 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
 
     // --- EMC probe. ---
     if (cfg.useEmc) {
+        HALO_TRACE_SCOPE("vswitch/emc");
         refScratch.clear();
         const auto emc_hit = emcCache.lookup(key, &refScratch);
         OpTrace &emc_ops = opScratch;
@@ -367,30 +370,38 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
 
     // --- MegaFlow tuple-space search (first match). Each probed tuple
     //     costs a full Table-1-profile cuckoo lookup. ---
-    OpTrace &ops = opScratch;
-    ops.clear();
     std::optional<TupleMatch> match;
-    unsigned searched = 0;
-    for (unsigned t = 0; t < tuples.numTuples(); ++t) {
-        tuples.mask(t).applyInto(key, maskScratch.data());
-        refScratch.clear();
-        const auto value = tuples.table(t).lookup(
-            KeyView(maskScratch.data(), maskScratch.size()), &refScratch);
-        // Mask application: a handful of vector ANDs per tuple.
-        tableBuilder.lowerCompute(4, 2, 0, ops);
-        tableBuilder.lowerTableOp(refScratch, ops);
-        ++searched;
-        if (value) {
-            match = TupleMatch{*value, decodeRulePriority(*value), t,
-                               searched};
-            break;
+    {
+        HALO_TRACE_SCOPE("vswitch/tuple_space");
+        OpTrace &ops = opScratch;
+        ops.clear();
+        unsigned searched = 0;
+        for (unsigned t = 0; t < tuples.numTuples(); ++t) {
+            tuples.mask(t).applyInto(key, maskScratch.data());
+            refScratch.clear();
+            std::optional<std::uint64_t> value;
+            {
+                HALO_TRACE_SCOPE("vswitch/cuckoo");
+                value = tuples.table(t).lookup(
+                    KeyView(maskScratch.data(), maskScratch.size()),
+                    &refScratch);
+            }
+            // Mask application: a handful of vector ANDs per tuple.
+            tableBuilder.lowerCompute(4, 2, 0, ops);
+            tableBuilder.lowerTableOp(refScratch, ops);
+            ++searched;
+            if (value) {
+                match = TupleMatch{*value, decodeRulePriority(*value), t,
+                                   searched};
+                break;
+            }
         }
+        RunResult rr = core.run(ops, now);
+        res.megaflowCycles = rr.elapsed();
+        res.instructions += rr.instructions;
+        now = rr.endCycle;
+        res.tuplesSearched = searched;
     }
-    RunResult rr = core.run(ops, now);
-    res.megaflowCycles = rr.elapsed();
-    res.instructions += rr.instructions;
-    now = rr.endCycle;
-    res.tuplesSearched = searched;
 
     if (match) {
         res.matched = true;

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the HDR-style log-bucketed histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "obs/histogram.hh"
+
+namespace halo::obs {
+namespace {
+
+TEST(HdrHistogram, EmptyIsZero)
+{
+    HdrHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HdrHistogram, ExactRegionCountsExactly)
+{
+    // Values below 2^subBits land in their own unit bucket.
+    HdrHistogram h(5);
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v, v + 1);
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        EXPECT_EQ(h.bucketCount(v), v + 1) << "bucket " << v;
+        EXPECT_EQ(h.bucketLow(v), v);
+        EXPECT_EQ(h.bucketHigh(v), v + 1);
+    }
+    EXPECT_EQ(h.count(), 32u * 33u / 2);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+}
+
+TEST(HdrHistogram, BucketBoundsTileTheRange)
+{
+    // Every bucket's exclusive high equals the next bucket's inclusive
+    // low: the bands stack contiguously with no gaps or overlaps.
+    HdrHistogram h(5);
+    for (std::size_t i = 0; i + 1 < h.buckets(); ++i)
+        EXPECT_EQ(h.bucketHigh(i), h.bucketLow(i + 1)) << "bucket " << i;
+}
+
+TEST(HdrHistogram, ValueLandsInsideItsBucketBounds)
+{
+    HdrHistogram h(5);
+    const std::uint64_t probes[] = {
+        0,   1,    31,         32,         33,        63,
+        64,  100,  1000,       4096,       123456789, 1ull << 40,
+        (1ull << 40) + 12345,  std::numeric_limits<std::uint64_t>::max(),
+    };
+    for (const std::uint64_t v : probes) {
+        h.reset();
+        h.record(v);
+        // Find the single nonzero bucket and check it brackets v.
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            EXPECT_GE(v, h.bucketLow(i)) << "value " << v;
+            if (h.bucketHigh(i) != ~0ull)
+                EXPECT_LT(v, h.bucketHigh(i)) << "value " << v;
+            else
+                EXPECT_LE(v, ~0ull);
+        }
+    }
+}
+
+TEST(HdrHistogram, RelativeErrorBounded)
+{
+    // Any reported percentile is within 2^-subBits of the true value.
+    HdrHistogram h(5);
+    const std::uint64_t v = 987654321;
+    h.record(v);
+    const double p = h.percentile(0.5);
+    EXPECT_NEAR(p, static_cast<double>(v),
+                static_cast<double>(v) / 32.0);
+}
+
+TEST(HdrHistogram, PercentilesOfUniformRamp)
+{
+    HdrHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v * 1000); // 1000..1000000ns ramp
+    EXPECT_NEAR(h.percentile(0.5), 500000.0, 500000.0 * 0.05);
+    EXPECT_NEAR(h.percentile(0.9), 900000.0, 900000.0 * 0.05);
+    EXPECT_NEAR(h.percentile(0.99), 990000.0, 990000.0 * 0.05);
+    // Extremes clamp to the recorded min/max exactly.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000000.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 500500.0);
+}
+
+TEST(HdrHistogram, SingleValuePercentilesClampToIt)
+{
+    HdrHistogram h;
+    h.record(777777);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 777777.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 777777.0);
+    // Interior quantiles interpolate within the bucket but clamp to
+    // the exact recorded range, so they equal the value too.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 777777.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 777777.0);
+}
+
+TEST(HdrHistogram, HandlesUint64Extremes)
+{
+    HdrHistogram h;
+    const std::uint64_t maxv =
+        std::numeric_limits<std::uint64_t>::max();
+    h.record(0);
+    h.record(maxv);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), maxv);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0),
+                     static_cast<double>(maxv));
+    // The top bucket's bounds must not overflow.
+    for (std::size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_LE(h.bucketLow(i), h.bucketHigh(i));
+}
+
+TEST(HdrHistogram, MergeMatchesCombinedRecording)
+{
+    HdrHistogram a, b, combined;
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        a.record(v * 7);
+        combined.record(v * 7);
+    }
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        b.record(v * 131);
+        combined.record(v * 131);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(a.percentile(q), combined.percentile(q))
+            << "q=" << q;
+}
+
+TEST(HdrHistogram, MergeWithEmptyIsIdentity)
+{
+    HdrHistogram a, empty;
+    a.record(42);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.min(), 42u);
+    EXPECT_EQ(a.max(), 42u);
+
+    HdrHistogram b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.min(), 42u);
+    EXPECT_EQ(b.max(), 42u);
+}
+
+TEST(HdrHistogram, ResetClearsEverything)
+{
+    HdrHistogram h;
+    h.record(123);
+    h.record(456);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.record(7);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 7u);
+}
+
+} // namespace
+} // namespace halo::obs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the metrics registry and Prometheus exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "sim/stats.hh"
+
+namespace halo::obs {
+namespace {
+
+TEST(MetricsRegistry, GoldenExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("halo_rt_processed", {}, 12345);
+    reg.gauge("halo_worker_cpu_pps", {{"worker", "0"}}, 1.5e6);
+    reg.gauge("halo_worker_cpu_pps", {{"worker", "1"}}, 2.5e6);
+    reg.counter("halo_rt_drops", {}, 0);
+
+    // Families sorted by name, one TYPE line per family, registration
+    // order preserved within a family, integral values printed exactly.
+    const std::string expected =
+        "# TYPE halo_rt_drops counter\n"
+        "halo_rt_drops 0\n"
+        "# TYPE halo_rt_processed counter\n"
+        "halo_rt_processed 12345\n"
+        "# TYPE halo_worker_cpu_pps gauge\n"
+        "halo_worker_cpu_pps{worker=\"0\"} 1500000\n"
+        "halo_worker_cpu_pps{worker=\"1\"} 2500000\n";
+    EXPECT_EQ(reg.renderPrometheus(), expected);
+}
+
+TEST(MetricsRegistry, SanitizesNamesAndEscapesLabels)
+{
+    MetricsRegistry reg;
+    reg.gauge("halo.lookup-rate/sec", {{"nf", "fw\"v2\"\n"}}, 1.0);
+    reg.counter("0starts_with_digit", {}, 2.0);
+    const std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("halo_lookup_rate_sec{nf=\"fw\\\"v2\\\"\\n\"} 1"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("_0starts_with_digit 2"), std::string::npos)
+        << out;
+}
+
+TEST(MetricsRegistry, NonIntegralValuesRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.gauge("halo_frac", {}, 0.1);
+    const std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("halo_frac 0.1\n"), std::string::npos) << out;
+}
+
+TEST(MetricsRegistry, AttachedSourcesSampleAtRenderTime)
+{
+    MetricsRegistry reg;
+    PublishedCounter c;
+    reg.attachCounter("halo_live", {}, c);
+    double v = 1.0;
+    reg.attach("halo_fn", {}, MetricKind::Gauge, [&v] { return v; });
+
+    c.add(7);
+    v = 3.5;
+    std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("halo_live 7\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("halo_fn 3.5\n"), std::string::npos) << out;
+
+    // A second render sees the new values: nothing was cached.
+    c.add(3);
+    v = 4.0;
+    out = reg.renderPrometheus();
+    EXPECT_NE(out.find("halo_live 10\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("halo_fn 4\n"), std::string::npos) << out;
+}
+
+TEST(MetricsRegistry, AddStatGroupMirrorsCountersAndAverages)
+{
+    StatGroup g("emc");
+    Counter &hits = g.counter("hits");
+    Average &occ = g.average("occupancy");
+    hits += 42;
+    occ.sample(2.0);
+    occ.sample(4.0);
+
+    MetricsRegistry reg;
+    reg.addStatGroup(g, {{"worker", "3"}});
+    const std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("halo_emc_hits{worker=\"3\"} 42\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("halo_emc_occupancy_mean{worker=\"3\"} 3\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("halo_emc_occupancy_samples{worker=\"3\"} 2\n"),
+              std::string::npos)
+        << out;
+}
+
+} // namespace
+} // namespace halo::obs

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the trace recorder, scope macro, and Chrome drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hh"
+
+namespace halo::obs {
+namespace {
+
+/** Uninstall any recorder on scope exit so tests stay independent. */
+struct ScopedInstall
+{
+    explicit ScopedInstall(TraceRecorder *rec)
+        : prev(TraceRecorder::installThisThread(rec))
+    {
+    }
+    ~ScopedInstall() { TraceRecorder::installThisThread(prev); }
+    TraceRecorder *prev;
+};
+
+TEST(TraceName, InterningIsIdempotent)
+{
+    const std::uint16_t a = internTraceName("test/intern_a");
+    const std::uint16_t b = internTraceName("test/intern_b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(internTraceName("test/intern_a"), a);
+    EXPECT_STREQ(traceName(a), "test/intern_a");
+    EXPECT_STREQ(traceName(b), "test/intern_b");
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToPowerOfTwo)
+{
+    TraceRecorder rec(5);
+    EXPECT_EQ(rec.capacity(), 8u);
+    TraceRecorder exact(16);
+    EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(TraceRecorder, RecordsInOrder)
+{
+    TraceRecorder rec(8);
+    const std::uint16_t id = internTraceName("test/order");
+    for (std::uint64_t i = 0; i < 5; ++i)
+        rec.record(id, i * 100, i * 100 + 50);
+    ASSERT_EQ(rec.size(), 5u);
+    EXPECT_EQ(rec.recorded(), 5u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(rec.event(i).startNanos, i * 100);
+        EXPECT_EQ(rec.event(i).durNanos, 50u);
+        EXPECT_EQ(rec.event(i).nameId, id);
+    }
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestOldestFirst)
+{
+    TraceRecorder rec(4);
+    const std::uint16_t id = internTraceName("test/wrap");
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rec.record(id, i, i + 1);
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.recorded(), 10u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    // Events 6..9 survive, oldest first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(rec.event(i).startNanos, 6 + i);
+}
+
+TEST(TraceRecorder, DurationSaturatesAt32Bits)
+{
+    TraceRecorder rec(4);
+    const std::uint16_t id = internTraceName("test/sat");
+    rec.record(id, 0, 10ull << 32); // ~42.9 s
+    EXPECT_EQ(rec.event(0).durNanos, 0xffffffffu);
+    rec.record(id, 100, 50); // end before start clamps to 0
+    EXPECT_EQ(rec.event(1).durNanos, 0u);
+}
+
+TEST(TraceScope, RecordsOnlyWhenInstalled)
+{
+    if (!traceCompiledIn())
+        GTEST_SKIP() << "built with HALO_TRACING=OFF";
+
+    TraceRecorder rec(16);
+    {
+        // No recorder installed: the scope must be a cheap no-op.
+        HALO_TRACE_SCOPE("test/scope_uninstalled");
+    }
+    EXPECT_EQ(rec.recorded(), 0u);
+
+    {
+        ScopedInstall install(&rec);
+        HALO_TRACE_SCOPE("test/scope_installed");
+    }
+    ASSERT_EQ(rec.recorded(), 1u);
+    EXPECT_STREQ(traceName(rec.event(0).nameId),
+                 "test/scope_installed");
+}
+
+TEST(TraceScope, InstallationIsPerThread)
+{
+    if (!traceCompiledIn())
+        GTEST_SKIP() << "built with HALO_TRACING=OFF";
+
+    TraceRecorder mine(16);
+    ScopedInstall install(&mine);
+    std::thread other([] {
+        // This thread never installed a recorder.
+        EXPECT_EQ(TraceRecorder::current(), nullptr);
+        HALO_TRACE_SCOPE("test/other_thread");
+    });
+    other.join();
+    EXPECT_EQ(mine.recorded(), 0u);
+}
+
+TEST(WriteChromeTrace, EmitsWellFormedJson)
+{
+    TraceRecorder rec(8);
+    const std::uint16_t id = internTraceName("test/json \"quoted\"");
+    rec.record(id, 1000, 2500);
+    rec.record(id, 3000, 3100);
+
+    const TraceThread threads[] = {{&rec, "worker0", 1}};
+    std::ostringstream os;
+    writeChromeTrace(os, threads);
+    const std::string json = os.str();
+
+    // Structural balance scan (outside strings).
+    int braces = 0, brackets = 0;
+    bool in_string = false, escaped = false;
+    for (const char c : json) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (in_string)
+            continue;
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+
+    // The span name survives (escaped), the thread row is labeled, and
+    // both events are complete ("X") events.
+    EXPECT_NE(json.find("test/json \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("worker0"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(WriteChromeTrace, EmptyRecorderStillValid)
+{
+    TraceRecorder rec(4);
+    const TraceThread threads[] = {{&rec, "idle", 7}};
+    std::ostringstream os;
+    writeChromeTrace(os, threads);
+    // Metadata only; still a complete JSON object.
+    EXPECT_NE(os.str().find("traceEvents"), std::string::npos);
+    EXPECT_EQ(os.str().back(), '\n');
+}
+
+} // namespace
+} // namespace halo::obs

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <thread>
 
 #include "sim/stats.hh"
@@ -76,6 +77,56 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBuckets)
+{
+    // 100 samples spread uniformly over [0, 10): percentiles track the
+    // empirical quantiles to within half a bucket width.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i * 0.1);
+    EXPECT_NEAR(h.percentile(0.5), 5.0, 0.5);
+    EXPECT_NEAR(h.percentile(0.9), 9.0, 0.5);
+    EXPECT_NEAR(h.percentile(0.1), 1.0, 0.5);
+}
+
+TEST(Histogram, PercentileSaturatesAtRangeEnds)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-5.0);  // underflow: behaves as lo
+    h.sample(5.0);
+    h.sample(100.0); // overflow: behaves as hi
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+    EXPECT_NEAR(h.percentile(0.5), 5.5, 0.5);
+
+    Histogram empty(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 2.0); // empty returns lo
+}
+
+TEST(StatGroup, ForEachEnumeratesAll)
+{
+    StatGroup g("fe");
+    g.counter("a") += 1;
+    g.counter("b") += 2;
+    g.average("m").sample(6.0);
+
+    std::map<std::string, std::uint64_t> seen;
+    g.forEachCounter([&](const std::string &name, const Counter &c) {
+        seen[name] = c.value();
+    });
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen["a"], 1u);
+    EXPECT_EQ(seen["b"], 2u);
+
+    unsigned averages = 0;
+    g.forEachAverage([&](const std::string &name, const Average &a) {
+        EXPECT_EQ(name, "m");
+        EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+        ++averages;
+    });
+    EXPECT_EQ(averages, 1u);
 }
 
 TEST(StatGroup, RegisterAndRead)
