@@ -27,17 +27,23 @@
  * Usage:
  *   multiworker_throughput [--out FILE] [--packets N] [--smoke]
  *                          [--trace FILE] [--prom FILE] [--sample-us N]
+ *                          [--burst N]
  *
  *   --out       JSON output path (default BENCH_multiworker.json)
  *   --packets   packets per run (default 200000)
- *   --smoke     CI mode: 2 workers only, small counts; exits nonzero
- *               unless throughput is nonzero, every enqueued packet
- *               was processed, and the sampler recorded samples
+ *   --smoke     CI mode: 2 workers, small counts, one scalar run then
+ *               one burst run; exits nonzero unless throughput is
+ *               nonzero, every enqueued packet was processed, the
+ *               sampler recorded samples, and the burst run holds at
+ *               least 90% of the scalar run's aggregate cpu-pps
  *   --trace     write the last run's Chrome trace here (open in
  *               chrome://tracing or https://ui.perfetto.dev)
  *   --prom      write the last run's metrics as Prometheus text
  *   --sample-us sampler interval in microseconds (0 disables;
  *               default 2000)
+ *   --burst     classification burst width per worker (default 16,
+ *               clamped to [1, 32]; 1 = scalar processPacket loop,
+ *               reproducing the per-packet numbers)
  */
 
 #include <cstdint>
@@ -48,8 +54,11 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench_common.hh"
 #include "flow/ruleset.hh"
+#include "hash/table_layout.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "runtime/runtime.hh"
@@ -62,6 +71,7 @@ namespace {
 struct ScaleResult
 {
     unsigned workers = 0;
+    unsigned classifyBurst = 1;
     double aggregateCpuPps = 0.0;
     double wallPps = 0.0;
     std::uint64_t offered = 0;
@@ -95,12 +105,13 @@ struct Options
     std::string promPath;
     std::uint64_t packets = 200000;
     std::uint64_t sampleMicros = 2000;
+    unsigned burst = 16;
     bool smoke = false;
 };
 
 ScaleResult
-runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets,
-        const Options &opt, bool last_run)
+runOnce(unsigned workers, unsigned burst, std::uint64_t flows,
+        std::uint64_t packets, const Options &opt, bool last_run)
 {
     const TrafficConfig traffic = TrafficGenerator::scenarioConfig(
         TrafficScenario::ManyFlows, flows);
@@ -116,6 +127,7 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets,
     cfg.shard.vswitch.tupleConfig.tupleCapacity =
         nextPowerOfTwo(maxRulesPerMask(rules) + 64);
     cfg.rss.symmetric = true;
+    cfg.classifyBurst = burst;
     // Single-CPU hosts: bounded yields hand the core to starved workers
     // instead of spinning the producer; overflow still drops, counted.
     cfg.enqueueRetries = 65536;
@@ -139,6 +151,7 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets,
 
     ScaleResult res;
     res.workers = workers;
+    res.classifyBurst = burst;
     res.offered = rep.aggregate.offered;
     res.processed = rep.aggregate.processed;
     res.ringFullDrops = rep.aggregate.ringFullDrops;
@@ -207,10 +220,10 @@ runOnce(unsigned workers, std::uint64_t flows, std::uint64_t packets,
         std::printf("wrote %s\n", opt.promPath.c_str());
     }
 
-    std::printf("%u worker%s: %10.0f pkt/s aggregate (cpu-time), "
-                "%9.0f pkt/s wall, %llu drops, %zu samples\n",
-                workers, workers == 1 ? " " : "s", res.aggregateCpuPps,
-                res.wallPps,
+    std::printf("%u worker%s (burst %2u): %10.0f pkt/s aggregate "
+                "(cpu-time), %9.0f pkt/s wall, %llu drops, %zu samples\n",
+                workers, workers == 1 ? " " : "s", burst,
+                res.aggregateCpuPps, res.wallPps,
                 static_cast<unsigned long long>(res.ringFullDrops),
                 res.samples.samples());
     for (const auto &pw : res.perWorker)
@@ -284,6 +297,7 @@ writeJson(const Options &opt, const std::vector<ScaleResult> &runs,
     for (const ScaleResult &r : runs) {
         j.beginObject();
         j.kv("workers", r.workers);
+        j.kv("classify_burst", r.classifyBurst);
         j.kv("aggregate_cpu_pps", r.aggregateCpuPps, 1);
         j.kv("speedup_vs_1worker",
              base > 0.0 ? r.aggregateCpuPps / base : 0.0, 2);
@@ -339,13 +353,18 @@ main(int argc, char **argv)
             opt.promPath = argv[++i];
         } else if (arg == "--sample-us" && i + 1 < argc) {
             opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--burst" && i + 1 < argc) {
+            const std::uint64_t raw =
+                std::strtoull(argv[++i], nullptr, 10);
+            opt.burst = static_cast<unsigned>(
+                std::clamp<std::uint64_t>(raw, 1, maxBulkLanes));
         } else if (arg == "--smoke") {
             opt.smoke = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--packets N] "
                          "[--smoke] [--trace FILE] [--prom FILE] "
-                         "[--sample-us N]\n",
+                         "[--sample-us N] [--burst N]\n",
                          argv[0]);
             return 2;
         }
@@ -361,38 +380,66 @@ main(int argc, char **argv)
     const std::uint64_t flows = opt.smoke ? 10000 : 100000;
     if (opt.smoke && opt.packets == 200000)
         opt.packets = 20000;
-    const std::vector<unsigned> counts =
-        opt.smoke ? std::vector<unsigned>{2}
-                  : std::vector<unsigned>{1, 2, 4, 8};
+    // Each pass is (workers, classify-burst). Smoke mode runs the same
+    // 2-worker config scalar-then-burst so the gate below can compare
+    // the two paths on identical load; the full sweep runs every worker
+    // count at the requested burst width.
+    std::vector<std::pair<unsigned, unsigned>> passes;
+    if (opt.smoke) {
+        passes.emplace_back(2u, 1u);
+        if (opt.burst > 1)
+            passes.emplace_back(2u, opt.burst);
+    } else {
+        for (unsigned w : {1u, 2u, 4u, 8u})
+            passes.emplace_back(w, opt.burst);
+    }
 
     std::vector<ScaleResult> runs;
-    for (std::size_t i = 0; i < counts.size(); ++i)
-        runs.push_back(runOnce(counts[i], flows, opt.packets, opt,
-                               i + 1 == counts.size()));
+    for (std::size_t i = 0; i < passes.size(); ++i)
+        runs.push_back(runOnce(passes[i].first, passes[i].second, flows,
+                               opt.packets, opt,
+                               i + 1 == passes.size()));
     writeJson(opt, runs, flows, opt.packets);
 
     if (opt.smoke) {
-        const ScaleResult &r = runs.front();
-        const bool samplerOk =
-            opt.sampleMicros == 0 || r.samples.samples() > 0;
-        const bool traceOk = opt.tracePath.empty() ||
-                             !obs::traceCompiledIn() ||
-                             r.traceEvents > 0;
-        if (r.aggregateCpuPps <= 0.0 || r.processed == 0 ||
-            r.processed != r.offered - r.ringFullDrops || !samplerOk ||
-            !traceOk) {
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const ScaleResult &r = runs[i];
+            const bool samplerOk =
+                opt.sampleMicros == 0 || r.samples.samples() > 0;
+            // Only the last pass writes the Chrome trace.
+            const bool traceOk = i + 1 != runs.size() ||
+                                 opt.tracePath.empty() ||
+                                 !obs::traceCompiledIn() ||
+                                 r.traceEvents > 0;
+            if (r.aggregateCpuPps <= 0.0 || r.processed == 0 ||
+                r.processed != r.offered - r.ringFullDrops ||
+                !samplerOk || !traceOk) {
+                std::fprintf(stderr,
+                             "smoke FAILED (burst %u): pps=%.1f "
+                             "processed=%llu offered=%llu drops=%llu "
+                             "samples=%zu trace_events=%llu\n",
+                             r.classifyBurst, r.aggregateCpuPps,
+                             static_cast<unsigned long long>(
+                                 r.processed),
+                             static_cast<unsigned long long>(r.offered),
+                             static_cast<unsigned long long>(
+                                 r.ringFullDrops),
+                             r.samples.samples(),
+                             static_cast<unsigned long long>(
+                                 r.traceEvents));
+                return 1;
+            }
+        }
+        // Burst must not regress below the scalar path. The runtime's
+        // per-packet cost is dominated by NF work, so parity (with 10%
+        // headroom for CI noise) is the bar, not a speedup.
+        if (runs.size() == 2 &&
+            runs[1].aggregateCpuPps < 0.9 * runs[0].aggregateCpuPps) {
             std::fprintf(stderr,
-                         "smoke FAILED: pps=%.1f processed=%llu "
-                         "offered=%llu drops=%llu samples=%zu "
-                         "trace_events=%llu\n",
-                         r.aggregateCpuPps,
-                         static_cast<unsigned long long>(r.processed),
-                         static_cast<unsigned long long>(r.offered),
-                         static_cast<unsigned long long>(
-                             r.ringFullDrops),
-                         r.samples.samples(),
-                         static_cast<unsigned long long>(
-                             r.traceEvents));
+                         "smoke FAILED: burst %u aggregate %.1f pps < "
+                         "90%% of scalar %.1f pps\n",
+                         runs[1].classifyBurst, runs[1].aggregateCpuPps,
+                         runs[0].aggregateCpuPps);
             return 1;
         }
         std::printf("smoke OK\n");

@@ -29,7 +29,7 @@ storesFor(const MemRef &ref)
 } // namespace
 
 std::size_t
-TraceBuilder::lowerTableOp(const AccessTrace &refs, OpTrace &out) const
+TraceBuilder::lowerTableOp(std::span<const MemRef> refs, OpTrace &out) const
 {
     const std::size_t first = out.size();
 

@@ -15,6 +15,7 @@
 #define HALO_CPU_TRACE_BUILDER_HH
 
 #include <cstdint>
+#include <span>
 
 #include "cpu/micro_op.hh"
 #include "hash/access.hh"
@@ -56,7 +57,8 @@ class TraceBuilder
      * positions; register arithmetic, branches, and stack traffic are
      * added around them so the final mix matches the profile.
      */
-    std::size_t lowerTableOp(const AccessTrace &refs, OpTrace &out) const;
+    std::size_t lowerTableOp(std::span<const MemRef> refs,
+                             OpTrace &out) const;
 
     /**
      * Lower a HALO LOOKUP_B instruction: one micro-op, plus the handful

@@ -72,7 +72,78 @@ ExactMatchCache::lookup(
     return std::nullopt;
 }
 
-void
+std::uint32_t
+ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
+                            std::size_t n, std::uint64_t *values,
+                            std::uint64_t (*slots)[2],
+                            AccessTrace *const *traces) const
+{
+    HALO_ASSERT(n <= maxBulkLanes, "bulk EMC probe burst too large");
+
+    struct Lane
+    {
+        std::uint64_t idx[2];
+        std::uint32_t sig;
+    };
+    Lane lanes[maxBulkLanes];
+
+    // --- Stage 0: hash every key, prefetch both candidate slots. ---
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        const std::uint64_t h = hashKey(
+            std::span<const std::uint8_t, FiveTuple::keyBytes>(
+                keys[i], FiveTuple::keyBytes));
+        ln.sig = shortSignature(h);
+        ln.idx[0] = h & (numEntries - 1);
+        ln.idx[1] = (h >> 32) & (numEntries - 1);
+        slots[i][0] = ln.idx[0];
+        slots[i][1] = ln.idx[1];
+        // Slot prefetch only pays once the entry array outgrows the
+        // LLC; small caches are L2-resident and the demand loads in
+        // stage 1 already overlap across lanes (same policy as the
+        // cuckoo bulk path).
+        if (numEntries * slotBytes > (4ull << 20)) {
+            for (int probe = 0; probe < 2; ++probe) {
+                if (const std::uint8_t *p = mem.rangeView(
+                        slotAddr(ln.idx[probe]), slotBytes))
+                    __builtin_prefetch(p, 0, 3);
+            }
+        }
+    }
+
+    // --- Stage 1: probes over warm lines, scalar control flow. ---
+    std::uint32_t found = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        AccessTrace *tr = traces ? traces[i] : nullptr;
+        for (int probe = 0; probe < 2; ++probe) {
+            const Addr slot = slotAddr(ln.idx[probe]);
+            recordRef(tr, slot, slotBytes, false, AccessPhase::Bucket,
+                      probe == 0);
+            const std::uint8_t *view = mem.rangeView(slot, slotBytes);
+            HALO_ASSERT(view, "EMC slot straddles a page");
+            std::uint32_t slot_gen, slot_sig;
+            std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
+            if (slot_gen != generation)
+                continue;
+            std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
+            if (slot_sig != ln.sig)
+                continue;
+            if (std::memcmp(view + keyOffset, keys[i],
+                            FiveTuple::keyBytes) == 0) {
+                std::memcpy(&values[i], view + valueOffset,
+                            sizeof(values[i]));
+                found |= 1u << i;
+                break;
+            }
+            if (ln.idx[0] == ln.idx[1])
+                break;
+        }
+    }
+    return found;
+}
+
+std::uint64_t
 ExactMatchCache::insert(
     std::span<const std::uint8_t, FiveTuple::keyBytes> key,
     std::uint64_t value, AccessTrace *trace)
@@ -104,6 +175,7 @@ ExactMatchCache::insert(
     mem.write(victim + keyOffset, key.data(), key.size());
     mem.store<std::uint64_t>(victim + valueOffset, value);
     recordRef(trace, victim, slotBytes, true, AccessPhase::Bucket);
+    return (victim - base) / slotBytes;
 }
 
 void

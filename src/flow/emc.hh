@@ -18,6 +18,7 @@
 
 #include "hash/access.hh"
 #include "hash/hash_fn.hh"
+#include "hash/table_layout.hh"
 #include "mem/sim_memory.hh"
 #include "net/headers.hh"
 
@@ -38,9 +39,30 @@ class ExactMatchCache
     lookup(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
            AccessTrace *trace = nullptr) const;
 
-    /** Insert (replaces the older of the two candidates on conflict). */
-    void insert(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
-                std::uint64_t value, AccessTrace *trace = nullptr);
+    /**
+     * Pipelined bulk probe of @p n keys (n <= maxBulkLanes): hash all
+     * keys and prefetch their candidate slots first, then run the
+     * probes over warm lines. Bit i of the returned mask is set and
+     * values[i] holds the cached value for every hit; values of miss
+     * lanes are untouched.
+     *
+     * slots[i] receives lane i's two candidate slot indices (the burst
+     * classifier uses them to detect in-batch insert conflicts), and
+     * traces[i] — when @p traces is non-null — receives exactly the
+     * MemRefs the scalar lookup() would record, appended.
+     */
+    std::uint32_t lookupBulk(const std::uint8_t *const *keys,
+                             std::size_t n, std::uint64_t *values,
+                             std::uint64_t (*slots)[2],
+                             AccessTrace *const *traces = nullptr) const;
+
+    /**
+     * Insert (replaces the older of the two candidates on conflict).
+     * @return the slot index that was written.
+     */
+    std::uint64_t
+    insert(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+           std::uint64_t value, AccessTrace *trace = nullptr);
 
     /** Invalidate everything (rule-table revalidation). */
     void clear();

@@ -61,6 +61,60 @@ TupleSpace::lookupFirst(std::span<const std::uint8_t> key,
     return std::nullopt;
 }
 
+std::uint32_t
+TupleSpace::lookupFirstBulk(const std::uint8_t *const *keys,
+                            std::size_t n,
+                            BulkWalkLane *const *lanes) const
+{
+    HALO_ASSERT(n <= maxBulkLanes, "bulk walk burst too large");
+
+    // Live-lane compaction: lanes drop out as they match, so later
+    // (broader) tuples are only probed for the remaining misses.
+    unsigned live[maxBulkLanes];
+    for (std::size_t i = 0; i < n; ++i)
+        live[i] = static_cast<unsigned>(i);
+    std::size_t num_live = n;
+
+    std::uint32_t found = 0;
+    for (unsigned t = 0;
+         t < static_cast<unsigned>(tuples.size()) && num_live; ++t) {
+        const std::uint8_t *key_ptrs[maxBulkLanes];
+        AccessTrace *trace_ptrs[maxBulkLanes];
+        std::uint64_t values[maxBulkLanes];
+        for (std::size_t j = 0; j < num_live; ++j) {
+            const unsigned lane = live[j];
+            tuples[t]->mask.applyInto(
+                std::span<const std::uint8_t>(keys[lane],
+                                              FiveTuple::keyBytes),
+                bulkMaskScratch[j].data());
+            key_ptrs[j] = bulkMaskScratch[j].data();
+            trace_ptrs[j] = &lanes[lane]->trace;
+        }
+        const std::uint32_t hits = tuples[t]->table.lookupUntracedBulk(
+            key_ptrs, num_live, values, trace_ptrs);
+
+        std::size_t out = 0;
+        for (std::size_t j = 0; j < num_live; ++j) {
+            const unsigned lane = live[j];
+            BulkWalkLane &st = *lanes[lane];
+            ++st.searched;
+            st.probeEnds.push_back(
+                static_cast<std::uint32_t>(st.trace.size()));
+            if (hits & (1u << j)) {
+                st.found = true;
+                st.match = TupleMatch{values[j],
+                                      decodeRulePriority(values[j]), t,
+                                      st.searched};
+                found |= 1u << lane;
+            } else {
+                live[out++] = lane;
+            }
+        }
+        num_live = out;
+    }
+    return found;
+}
+
 std::optional<TupleMatch>
 TupleSpace::lookupBest(std::span<const std::uint8_t> key,
                        AccessTrace *trace) const

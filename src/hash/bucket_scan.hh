@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Branchless bucket signature scan, scalar and SIMD.
+ *
+ * A bucket is one 64-byte cache line of eight {u32 signature, u32
+ * kvRef} entries (table_layout.hh). The scan returns a bitmask with bit
+ * `way` set when that entry is occupied (kvRef != 0) and its signature
+ * equals the probe signature — the filter step of every cuckoo lookup.
+ *
+ * Three implementations share the exact same contract:
+ *
+ *   scalar — eight independent compares, no branches (the predictor
+ *            cannot learn data-dependent per-way hits on big tables);
+ *   SSE2   — four 16-byte compares, two entries each;
+ *   AVX2   — two 32-byte compares, four entries each.
+ *
+ * Dispatch is compile-time: scanBucketSigs() resolves to the widest
+ * variant the translation unit is compiled for (__AVX2__ / __SSE2__,
+ * e.g. under HALO_NATIVE's -march=native; plain x86-64 already carries
+ * SSE2). Define HALO_FORCE_SCALAR_SCAN to pin the scalar variant — the
+ * unit tests exercise scalar and SIMD against each other regardless.
+ *
+ * Bucket lines come from SimMemory::lineView and are only guaranteed
+ * 16-byte aligned (operator new[]), so the SIMD paths use unaligned
+ * loads throughout.
+ */
+
+#ifndef HALO_HASH_BUCKET_SCAN_HH
+#define HALO_HASH_BUCKET_SCAN_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "hash/table_layout.hh"
+
+#if !defined(HALO_FORCE_SCALAR_SCAN) && \
+    (defined(__AVX2__) || defined(__SSE2__))
+#include <immintrin.h>
+#endif
+
+namespace halo {
+
+/** Reference implementation; always compiled, used by the tests as the
+ *  oracle for the SIMD variants. */
+inline unsigned
+scanBucketSigsScalar(const std::uint8_t *line, std::uint32_t sig)
+{
+    unsigned mask = 0;
+    for (unsigned way = 0; way < entriesPerBucket; ++way) {
+        BucketEntry entry;
+        std::memcpy(&entry, line + way * bucketEntryBytes, sizeof(entry));
+        mask |= static_cast<unsigned>((entry.kvRef != 0) &
+                                      (entry.sig == sig))
+                << way;
+    }
+    return mask;
+}
+
+#if !defined(HALO_FORCE_SCALAR_SCAN) && defined(__AVX2__)
+
+inline constexpr bool bucketScanSimd = true;
+
+/** Variant name for banners and bench JSON. */
+inline constexpr const char *bucketScanKind = "avx2";
+
+/** Entry k occupies dwords 2k (sig) and 2k+1 (kvRef); one 8-dword
+ *  compare per 32-byte half yields four entries' verdicts at once. */
+inline unsigned
+scanBucketSigsSimd(const std::uint8_t *line, std::uint32_t sig)
+{
+    const __m256i target =
+        _mm256_set1_epi32(static_cast<std::int32_t>(sig));
+    const __m256i zero = _mm256_setzero_si256();
+    unsigned mask = 0;
+    for (unsigned half = 0; half < 2; ++half) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(line + 32 * half));
+        const unsigned eq = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, target))));
+        const unsigned ze = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))));
+        // Bit 2k: signature match; bit 2k+1 of ~ze: occupied.
+        unsigned m = eq & (~ze >> 1) & 0x55u;
+        // Compress the even bits 0/2/4/6 down to ways 0..3.
+        m = (m | (m >> 1)) & 0x33u;
+        m = (m | (m >> 2)) & 0x0fu;
+        mask |= m << (4 * half);
+    }
+    return mask;
+}
+
+#elif !defined(HALO_FORCE_SCALAR_SCAN) && defined(__SSE2__)
+
+inline constexpr bool bucketScanSimd = true;
+inline constexpr const char *bucketScanKind = "sse2";
+
+/** Two entries (4 dwords) per 16-byte compare. */
+inline unsigned
+scanBucketSigsSimd(const std::uint8_t *line, std::uint32_t sig)
+{
+    const __m128i target =
+        _mm_set1_epi32(static_cast<std::int32_t>(sig));
+    const __m128i zero = _mm_setzero_si128();
+    unsigned mask = 0;
+    for (unsigned quarter = 0; quarter < 4; ++quarter) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(line + 16 * quarter));
+        const unsigned eq = static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(v, target))));
+        const unsigned ze = static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+        unsigned m = eq & (~ze >> 1) & 0x5u;
+        m = (m | (m >> 1)) & 0x3u;
+        mask |= m << (2 * quarter);
+    }
+    return mask;
+}
+
+#else
+
+inline constexpr bool bucketScanSimd = false;
+inline constexpr const char *bucketScanKind = "scalar";
+
+#endif
+
+/** Compile-time dispatched scan: widest variant available. */
+inline unsigned
+scanBucketSigs(const std::uint8_t *line, std::uint32_t sig)
+{
+#if !defined(HALO_FORCE_SCALAR_SCAN) && \
+    (defined(__AVX2__) || defined(__SSE2__))
+    return scanBucketSigsSimd(line, sig);
+#else
+    return scanBucketSigsScalar(line, sig);
+#endif
+}
+
+} // namespace halo
+
+#endif // HALO_HASH_BUCKET_SCAN_HH

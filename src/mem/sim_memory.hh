@@ -8,9 +8,13 @@
  * lets the cache hierarchy, the CHA-side accelerators, and the hardware
  * lock bits observe exactly the accesses the real system would make.
  *
- * Storage is paged and allocated lazily so multi-hundred-megabyte tables
- * (the 2^24-entry sweep of Figure 9) only consume host memory for pages
- * actually touched.
+ * Storage is one contiguous anonymous mapping reserved up front and
+ * demand-paged by the kernel, so multi-hundred-megabyte tables (the
+ * 2^24-entry sweep of Figure 9) only consume host memory for pages
+ * actually written: untouched ranges alias the kernel's shared zero
+ * page. The flat slab keeps simulated-to-host translation a single add
+ * (no per-page indirection on the lookup fast path) and is advised
+ * MADV_HUGEPAGE so hot tables don't drown in dTLB misses.
  */
 
 #ifndef HALO_MEM_SIM_MEMORY_HH
@@ -18,9 +22,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <memory>
 #include <span>
 #include <vector>
+
+#include <sys/mman.h>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -52,10 +57,31 @@ class SimMemory
     /** @param capacity Total simulated bytes addressable (default 4 GiB). */
     explicit SimMemory(std::uint64_t capacity = 4ull << 30)
         : capacityBytes(capacity),
-          pages((capacity + pageBytes - 1) / pageBytes)
+          slabBytes((capacity + pageBytes - 1) & ~pageOffsetMask),
+          written((capacity + pageBytes - 1) / pageBytes, false)
     {
+        // A reservation, not a commitment: MAP_NORESERVE + lazy kernel
+        // paging means an 8 GiB SimMemory costs address space, not RAM.
+        void *map = ::mmap(nullptr, slabBytes, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                           -1, 0);
+        if (map == MAP_FAILED)
+            fatal("SimMemory: cannot reserve ", slabBytes,
+                  "B of address space");
+        slab = static_cast<std::uint8_t *>(map);
+        // Best-effort: huge mappings keep table walks off the lookup
+        // path. Ignore failure (kernels with THP disabled still work).
+        (void)::madvise(slab, slabBytes, MADV_HUGEPAGE);
         // Reserve the first line so address 0 stays an invalid pointer.
         brk = cacheLineBytes;
+    }
+
+    SimMemory(const SimMemory &) = delete;
+    SimMemory &operator=(const SimMemory &) = delete;
+
+    ~SimMemory()
+    {
+        ::munmap(slab, slabBytes);
     }
 
     /** Total simulated capacity in bytes. */
@@ -84,25 +110,20 @@ class SimMemory
     /**
      * Zero-copy view of the cache line at @p addr (must be line-aligned).
      *
-     * Reading through the view is equivalent to read(): lines on pages
-     * never written to read as zeros (the view aliases a shared zero
-     * line), so a read-only view never materializes a page. Views are
-     * direct host pointers into page storage — they stay coherent with
-     * read()/write() on materialized pages, but a view taken over an
-     * *unmaterialized* page is invalidated by the first write to that
-     * page. Treat views as short-lived: take, consume, drop.
+     * Reading through the view is equivalent to read(): lines never
+     * written to read as zeros (the kernel's zero page backs them), and
+     * a read-only view never materializes host memory. Views are direct
+     * host pointers into the slab and stay coherent with read()/write()
+     * for their whole lifetime.
      */
     LineView
     lineView(Addr addr) const
     {
         HALO_ASSERT(isLineAligned(addr), "lineView needs a line-aligned "
                     "address");
-        const std::uint64_t page = addr >> pageShift;
-        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
-        const std::uint8_t *p =
-            pages[page] ? pages[page].get() + (addr & pageOffsetMask)
-                        : zeroLine;
-        return LineView(p, cacheLineBytes);
+        HALO_ASSERT(addr + cacheLineBytes <= capacityBytes,
+                    "address beyond simulated memory");
+        return LineView(slab + addr, cacheLineBytes);
     }
 
     /**
@@ -123,57 +144,38 @@ class SimMemory
     /**
      * Direct host pointer over [addr, addr+len) when the range lies
      * within one page, nullptr when it straddles a page boundary (the
-     * caller falls back to read()). Unmaterialized pages yield the
-     * shared zero line for ranges up to one cache line; same lifetime
-     * caveat as lineView().
+     * caller falls back to read()). The boundary rule is kept even
+     * though the slab is contiguous: it is what the simulated cache
+     * hierarchy's per-page accounting relies on.
      */
     const std::uint8_t *
     rangeView(Addr addr, std::uint64_t len) const
     {
-        const std::uint64_t page = addr >> pageShift;
         const std::uint64_t off = addr & pageOffsetMask;
-        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
         if (off + len > pageBytes)
             return nullptr;
-        if (pages[page])
-            return pages[page].get() + off;
-        return len <= cacheLineBytes ? zeroLine : nullptr;
+        return slab + addr;
     }
 
     /** Copy @p len bytes out of simulated memory. */
     void
     read(Addr addr, void *dst, std::uint64_t len) const
     {
-        auto *out = static_cast<std::uint8_t *>(dst);
-        while (len > 0) {
-            const std::uint64_t page = addr >> pageShift;
-            const std::uint64_t off = addr & pageOffsetMask;
-            const std::uint64_t chunk = std::min(len, pageBytes - off);
-            const std::uint8_t *src = pagePtrConst(page);
-            if (src)
-                std::memcpy(out, src + off, chunk);
-            else
-                std::memset(out, 0, chunk);
-            out += chunk;
-            addr += chunk;
-            len -= chunk;
-        }
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
+        std::memcpy(dst, slab + addr, len);
     }
 
     /** Copy @p len bytes into simulated memory. */
     void
     write(Addr addr, const void *src, std::uint64_t len)
     {
-        auto *in = static_cast<const std::uint8_t *>(src);
-        while (len > 0) {
-            const std::uint64_t page = addr >> pageShift;
-            const std::uint64_t off = addr & pageOffsetMask;
-            const std::uint64_t chunk = std::min(len, pageBytes - off);
-            std::memcpy(pagePtr(page) + off, in, chunk);
-            in += chunk;
-            addr += chunk;
-            len -= chunk;
-        }
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
+        touch(addr, len);
+        std::memcpy(slab + addr, src, len);
     }
 
     /** Typed scalar load. */
@@ -182,12 +184,10 @@ class SimMemory
     load(Addr addr) const
     {
         static_assert(std::is_trivially_copyable_v<T>);
+        HALO_ASSERT(addr + sizeof(T) <= capacityBytes,
+                    "address beyond simulated memory");
         T v;
-        if (const std::uint8_t *p = rangeView(addr, sizeof(T))) {
-            std::memcpy(&v, p, sizeof(T));
-            return v;
-        }
-        read(addr, &v, sizeof(T));
+        std::memcpy(&v, slab + addr, sizeof(T));
         return v;
     }
 
@@ -197,26 +197,26 @@ class SimMemory
     store(Addr addr, const T &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        const std::uint64_t off = addr & pageOffsetMask;
-        if (off + sizeof(T) <= pageBytes) {
-            std::memcpy(pagePtr(addr >> pageShift) + off, &v, sizeof(T));
-            return;
-        }
-        write(addr, &v, sizeof(T));
+        HALO_ASSERT(addr + sizeof(T) <= capacityBytes,
+                    "address beyond simulated memory");
+        touch(addr, sizeof(T));
+        std::memcpy(slab + addr, &v, sizeof(T));
     }
 
     /** Zero a range. */
     void
     zero(Addr addr, std::uint64_t len)
     {
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
         while (len > 0) {
             const std::uint64_t page = addr >> pageShift;
             const std::uint64_t off = addr & pageOffsetMask;
             const std::uint64_t chunk = std::min(len, pageBytes - off);
-            // Untouched pages are already zero; only clear materialized
-            // ones.
-            if (pages[page])
-                std::memset(pages[page].get() + off, 0, chunk);
+            // Never-written pages are already zero; only clear pages
+            // that have real data (keeps the kernel zero page mapped).
+            if (written[page])
+                std::memset(slab + addr, 0, chunk);
             addr += chunk;
             len -= chunk;
         }
@@ -226,30 +226,18 @@ class SimMemory
     bool
     equals(Addr addr, const void *host, std::uint64_t len) const
     {
-        const auto *h = static_cast<const std::uint8_t *>(host);
-        if (const std::uint8_t *p = rangeView(addr, len))
-            return std::memcmp(p, h, len) == 0;
-        std::uint8_t buf[256];
-        while (len > 0) {
-            const std::uint64_t chunk =
-                std::min<std::uint64_t>(len, sizeof(buf));
-            read(addr, buf, chunk);
-            if (std::memcmp(buf, h, chunk) != 0)
-                return false;
-            addr += chunk;
-            h += chunk;
-            len -= chunk;
-        }
-        return true;
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
+        return std::memcmp(slab + addr, host, len) == 0;
     }
 
-    /** Number of host pages actually materialized (for tests). */
+    /** Number of pages written to so far (for tests: reads stay lazy). */
     std::size_t
     materializedPages() const
     {
         std::size_t n = 0;
-        for (const auto &p : pages)
-            if (p)
+        for (const bool w : written)
+            if (w)
                 ++n;
         return n;
     }
@@ -258,28 +246,27 @@ class SimMemory
     std::uint8_t *
     pagePtr(std::uint64_t page)
     {
-        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
-        if (!pages[page]) {
-            pages[page] = std::make_unique<std::uint8_t[]>(pageBytes);
-            std::memset(pages[page].get(), 0, pageBytes);
-        }
-        return pages[page].get();
+        HALO_ASSERT(page < written.size(),
+                    "address beyond simulated memory");
+        written[page] = true;
+        return slab + (page << pageShift);
     }
 
-    const std::uint8_t *
-    pagePtrConst(std::uint64_t page) const
+    void
+    touch(Addr addr, std::uint64_t len)
     {
-        HALO_ASSERT(page < pages.size(), "address beyond simulated memory");
-        return pages[page].get();
+        const std::uint64_t first = addr >> pageShift;
+        const std::uint64_t last = (addr + len - 1) >> pageShift;
+        for (std::uint64_t p = first; p <= last; ++p)
+            written[p] = true;
     }
-
-    /** Backing for read-only views of unmaterialized pages: every line
-     *  of an untouched page reads as this shared all-zero line. */
-    alignas(cacheLineBytes) static constexpr std::uint8_t
-        zeroLine[cacheLineBytes] = {};
 
     std::uint64_t capacityBytes;
-    std::vector<std::unique_ptr<std::uint8_t[]>> pages;
+    std::uint64_t slabBytes;
+    std::uint8_t *slab = nullptr;
+    /// Pages ever written through the API (lazy-materialization
+    /// accounting; host memory itself is demand-paged by the kernel).
+    std::vector<bool> written;
     Addr brk = 0;
 };
 

@@ -17,10 +17,14 @@ Sampler::~Sampler()
 }
 
 void
-Sampler::start(std::chrono::microseconds interval)
+Sampler::start(std::chrono::microseconds interval,
+               std::size_t max_samples)
 {
     HALO_ASSERT(!thread_.joinable(), "sampler already running");
     HALO_ASSERT(interval.count() > 0, "sampler interval must be > 0");
+    HALO_ASSERT(max_samples == 0 || max_samples >= 2,
+                "a sample cap below 2 cannot decimate");
+    maxSamples_ = max_samples;
     {
         std::lock_guard<std::mutex> lock(mtx_);
         stopRequested_ = false;
@@ -63,8 +67,12 @@ Sampler::threadMain(std::chrono::microseconds interval)
         // while (N relaxed reads) and stop() must never wait on it to
         // acquire the flag.
         lock.unlock();
-        sampleOnce(t0);
+        const bool decimated = sampleOnce(t0);
         lock.lock();
+        // A decimation halved the series' resolution; slow down to
+        // match so the retained samples stay evenly spaced.
+        if (decimated)
+            interval *= 2;
         next += interval;
         // Fixed-rate schedule; a slow sample function skips ticks
         // rather than bunching them.
@@ -79,7 +87,7 @@ Sampler::threadMain(std::chrono::microseconds interval)
     sampleOnce(t0);
 }
 
-void
+bool
 Sampler::sampleOnce(std::chrono::steady_clock::time_point t0)
 {
     const auto now = std::chrono::steady_clock::now();
@@ -87,10 +95,28 @@ Sampler::sampleOnce(std::chrono::steady_clock::time_point t0)
     HALO_ASSERT(row.size() == series_.columns.size(),
                 "sample row has ", row.size(), " values, expected ",
                 series_.columns.size());
+
+    // At the cap, drop every other retained sample in place. The
+    // series keeps covering the full run, at half the resolution.
+    bool decimated = false;
+    if (maxSamples_ >= 2 && series_.rows.size() >= maxSamples_) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < series_.rows.size(); i += 2, ++out) {
+            if (out == i)
+                continue; // self-move would empty the row
+            series_.tNanos[out] = series_.tNanos[i];
+            series_.rows[out] = std::move(series_.rows[i]);
+        }
+        series_.tNanos.resize(out);
+        series_.rows.resize(out);
+        decimated = true;
+    }
+
     series_.tNanos.push_back(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0)
             .count()));
     series_.rows.push_back(std::move(row));
+    return decimated;
 }
 
 } // namespace halo::obs

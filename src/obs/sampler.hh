@@ -58,9 +58,18 @@ class Sampler
     Sampler(const Sampler &) = delete;
     Sampler &operator=(const Sampler &) = delete;
 
-    /** Spawn the sampler thread; one sample is taken immediately and
-     *  then every @p interval until stop(). */
-    void start(std::chrono::microseconds interval);
+    /**
+     * Spawn the sampler thread; one sample is taken immediately and
+     * then every @p interval until stop().
+     *
+     * @param max_samples retained-sample ceiling (0 = unbounded). When
+     *   the series reaches the ceiling it is decimated in place —
+     *   every other retained sample dropped and the sampling interval
+     *   doubled — so arbitrarily long runs keep a bounded series that
+     *   still spans the whole run at progressively coarser resolution.
+     */
+    void start(std::chrono::microseconds interval,
+               std::size_t max_samples = 0);
 
     /** Take one final sample, stop and join the thread. Idempotent. */
     void stop();
@@ -72,10 +81,13 @@ class Sampler
 
   private:
     void threadMain(std::chrono::microseconds interval);
-    void sampleOnce(std::chrono::steady_clock::time_point t0);
+    /** @return true when the series was decimated (caller doubles the
+     *  sampling interval to match the coarser series). */
+    bool sampleOnce(std::chrono::steady_clock::time_point t0);
 
     SampleFn fn_;
     SampleSeries series_; ///< sampler thread only, read post-join
+    std::size_t maxSamples_ = 0; ///< set in start(), sampler thread only
 
     std::thread thread_;
     std::mutex mtx_;

@@ -23,6 +23,7 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         wc.shardMemBytes = cfg.shardMemBytes;
         wc.shard = cfg.shard;
         wc.shard.coreId = w;
+        wc.classifyBurst = cfg.classifyBurst;
         wc.warmTables = cfg.warmTables;
         wc.traceCapacity = cfg.traceCapacity;
         workers_.push_back(std::make_unique<Worker>(wc, rules));
@@ -146,7 +147,8 @@ Runtime::startSampler()
             return row;
         });
     sampler_->start(
-        std::chrono::microseconds(cfg.samplerIntervalMicros));
+        std::chrono::microseconds(cfg.samplerIntervalMicros),
+        cfg.samplerMaxSamples);
 }
 
 void

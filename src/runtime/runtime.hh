@@ -51,6 +51,11 @@ struct RuntimeConfig
     /// Bounded producer yields before a full ring drops the packet
     /// (0 = drop immediately). Never an unbounded block.
     unsigned enqueueRetries = 0;
+    /// Classification burst width per worker (see
+    /// WorkerConfig::classifyBurst). 1 = scalar processPacket loop;
+    /// > 1 drains ring batches through the prefetch-pipelined
+    /// VirtualSwitch::processBurst.
+    unsigned classifyBurst = 1;
     bool warmTables = true;
     /// Per-worker trace-event ring slots (0 = tracing off). See
     /// WorkerConfig::traceCapacity.
@@ -60,6 +65,11 @@ struct RuntimeConfig
     /// depths into RuntimeReport::samples — relaxed-atomic reads only,
     /// it never touches shard state.
     std::uint64_t samplerIntervalMicros = 0;
+    /// Retained-sample ceiling for the sampler series (0 = unbounded).
+    /// At the cap the series is decimated in place (every other sample
+    /// dropped, interval doubled), keeping memory and report size
+    /// bounded on long runs. See obs::Sampler::Options::maxSamples.
+    std::size_t samplerMaxSamples = 512;
 };
 
 /** Lock-free aggregate view; coherent snapshot once workers quiesce. */

@@ -28,16 +28,27 @@ threadCpuNanos()
             .count());
 }
 
+/** Burst width > 1 turns on the shard vswitch's burst pipeline. */
+ShardConfig
+withBurstLanes(ShardConfig shard, unsigned classify_burst)
+{
+    if (classify_burst > 1)
+        shard.vswitch.burstLanes = classify_burst;
+    return shard;
+}
+
 } // namespace
 
 Worker::Worker(const WorkerConfig &config, const RuleSet &rules)
     : cfg(config),
       mem_(cfg.shardMemBytes),
-      shard_(mem_, cfg.shard),
+      shard_(mem_, withBurstLanes(cfg.shard, cfg.classifyBurst)),
       ring_(cfg.ringCapacity)
 {
     shard_.install(rules, cfg.warmTables);
     batchBuf_.resize(cfg.batchSize);
+    if (cfg.classifyBurst > 1)
+        resultBuf_.resize(cfg.batchSize);
     if (cfg.traceCapacity)
         trace_ = std::make_unique<obs::TraceRecorder>(cfg.traceCapacity);
 }
@@ -111,10 +122,23 @@ Worker::threadMain()
         std::uint64_t emc_hits = 0;
         {
             HALO_TRACE_SCOPE("worker/batch");
-            for (std::size_t i = 0; i < n; ++i) {
-                const PacketResult r = vs.processPacket(batchBuf_[i]);
-                matched += r.matched ? 1 : 0;
-                emc_hits += r.emcHit ? 1 : 0;
+            if (cfg.classifyBurst > 1) {
+                // Whole ring batches go through the burst pipeline;
+                // the vswitch chunks them to its burstLanes window.
+                vs.processBurst(
+                    std::span<const Packet>(batchBuf_.data(), n),
+                    std::span<PacketResult>(resultBuf_.data(), n));
+                for (std::size_t i = 0; i < n; ++i) {
+                    matched += resultBuf_[i].matched ? 1 : 0;
+                    emc_hits += resultBuf_[i].emcHit ? 1 : 0;
+                }
+            } else {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const PacketResult r =
+                        vs.processPacket(batchBuf_[i]);
+                    matched += r.matched ? 1 : 0;
+                    emc_hits += r.emcHit ? 1 : 0;
+                }
             }
         }
         const std::uint64_t cpu1 = threadCpuNanos();

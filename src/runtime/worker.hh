@@ -52,6 +52,14 @@ struct WorkerConfig
     /// Capacity of the worker's private simulated memory.
     std::uint64_t shardMemBytes = 1ull << 30;
     ShardConfig shard;
+    /**
+     * Classification burst width: ring batches are fed through
+     * VirtualSwitch::processBurst in chunks of this many packets, so
+     * the shard's prefetch-pipelined prepass overlaps their table
+     * probes. 1 keeps the legacy packet-by-packet processPacket loop.
+     * Values > 1 also set the shard vswitch's burstLanes.
+     */
+    unsigned classifyBurst = 1;
     bool warmTables = true;
     /// Trace-event ring slots for this worker's TraceRecorder
     /// (0 = no recorder; HALO_TRACE_SCOPE sites then cost one
@@ -140,6 +148,7 @@ class Worker
     obs::HdrHistogram batchHist_;           ///< worker thread only
     std::unique_ptr<obs::TraceRecorder> trace_; ///< worker thread only
     std::vector<Packet> batchBuf_;          ///< worker thread only
+    std::vector<PacketResult> resultBuf_;   ///< worker thread only
 };
 
 } // namespace halo

@@ -35,6 +35,9 @@ struct ShardConfig
     /// HaloBlocking/HaloNonBlocking/Hybrid lookup modes).
     bool useHalo = false;
     HaloConfig halo;
+    /// Full datapath configuration, including vswitch.burstLanes — the
+    /// window of VirtualSwitch::classifyBurst / processBurst, which a
+    /// runtime Worker sets from WorkerConfig::classifyBurst.
     VSwitchConfig vswitch;
 };
 

@@ -243,5 +243,87 @@ INSTANTIATE_TEST_SUITE_P(
                                          HashKind::Jenkins,
                                          HashKind::XxMix)));
 
+void
+expectSameRef(const MemRef &bulk, const MemRef &scalar, std::size_t lane,
+              std::size_t k)
+{
+    EXPECT_EQ(bulk.addr, scalar.addr) << "lane " << lane << " ref " << k;
+    EXPECT_EQ(bulk.size, scalar.size)
+        << "lane " << lane << " ref " << k;
+    EXPECT_EQ(bulk.phase, scalar.phase)
+        << "lane " << lane << " ref " << k;
+    EXPECT_EQ(bulk.write, scalar.write)
+        << "lane " << lane << " ref " << k;
+    EXPECT_EQ(bulk.dependsOnPrevious, scalar.dependsOnPrevious)
+        << "lane " << lane << " ref " << k;
+    EXPECT_EQ(bulk.lowEntropyBranch, scalar.lowEntropyBranch)
+        << "lane " << lane << " ref " << k;
+}
+
+/** The pipelined bulk lookup must agree with the scalar path on
+ *  values, hit mask, and the recorded reference stream, ref by ref. */
+TEST(Cuckoo, BulkLookupMatchesScalarIncludingTraces)
+{
+    SimMemory mem(64 << 20);
+    // Small table: low-entropy bucket indices and forced alternates.
+    for (const std::uint64_t capacity : {64ull, 4096ull}) {
+        CuckooHashTable t(mem,
+                          {16, capacity, HashKind::XxMix, 13, 0.95});
+        const std::uint64_t present = capacity / 2;
+        for (std::uint64_t i = 0; i < present; ++i)
+            ASSERT_TRUE(t.insert(KeyView(makeKey(i)), i + 1));
+
+        // Alternate hits and misses across a full 32-lane batch.
+        std::vector<std::vector<std::uint8_t>> keys;
+        for (std::uint64_t i = 0; i < maxBulkLanes; ++i)
+            keys.push_back(makeKey(i % 2 ? i : i + 100000));
+
+        std::array<const std::uint8_t *, maxBulkLanes> key_ptrs;
+        std::array<AccessTrace, maxBulkLanes> traces;
+        std::array<AccessTrace *, maxBulkLanes> trace_ptrs;
+        std::array<std::uint64_t, maxBulkLanes> values{};
+        for (std::size_t i = 0; i < maxBulkLanes; ++i) {
+            key_ptrs[i] = keys[i].data();
+            trace_ptrs[i] = &traces[i];
+        }
+
+        const std::uint32_t mask = t.lookupUntracedBulk(
+            key_ptrs.data(), maxBulkLanes, values.data(),
+            trace_ptrs.data());
+
+        for (std::size_t i = 0; i < maxBulkLanes; ++i) {
+            AccessTrace scalar_trace;
+            const auto scalar =
+                t.lookup(KeyView(keys[i]), &scalar_trace);
+            EXPECT_EQ((mask >> i) & 1u, scalar.has_value() ? 1u : 0u)
+                << "lane " << i;
+            if (scalar)
+                EXPECT_EQ(values[i], *scalar) << "lane " << i;
+            ASSERT_EQ(traces[i].size(), scalar_trace.size())
+                << "lane " << i;
+            for (std::size_t k = 0; k < traces[i].size(); ++k)
+                expectSameRef(traces[i][k], scalar_trace[k], i, k);
+        }
+    }
+}
+
+TEST(Cuckoo, BulkLookupPartialBatchAndNoTraces)
+{
+    SimMemory mem(32 << 20);
+    CuckooHashTable t(mem, {16, 1024, HashKind::XxMix, 14, 0.95});
+    for (std::uint64_t i = 0; i < 200; ++i)
+        ASSERT_TRUE(t.insert(KeyView(makeKey(i)), i * 3 + 1));
+
+    const auto k0 = makeKey(5), k1 = makeKey(999999), k2 = makeKey(42);
+    const std::uint8_t *key_ptrs[3] = {k0.data(), k1.data(), k2.data()};
+    std::uint64_t values[3] = {0, 0, 0};
+    const std::uint32_t mask =
+        t.lookupUntracedBulk(key_ptrs, 3, values);
+    EXPECT_EQ(mask, 0b101u);
+    EXPECT_EQ(values[0], 5u * 3 + 1);
+    EXPECT_EQ(values[1], 0u); // miss lane untouched
+    EXPECT_EQ(values[2], 42u * 3 + 1);
+}
+
 } // namespace
 } // namespace halo

@@ -100,5 +100,62 @@ TEST(Sampler, ReadsLiveCountersWhileWriterRuns)
         EXPECT_GE(ser.rows[i][0], ser.rows[i - 1][0]);
 }
 
+TEST(Sampler, DecimationCapsSeriesLength)
+{
+    std::atomic<int> calls{0};
+    Sampler s({"n"}, [&calls] {
+        return std::vector<double>{
+            static_cast<double>(calls.fetch_add(1))};
+    });
+    s.start(100us, /*max_samples=*/8);
+    // Enough samples to overflow the cap and decimate at least twice.
+    // (Each decimation doubles the interval, so don't wait for many
+    // more — the tail samples arrive exponentially slower.)
+    while (calls.load() < 14)
+        std::this_thread::sleep_for(1ms);
+    s.stop();
+
+    const SampleSeries &ser = s.series();
+    // The cap bounds the retained series even though far more samples
+    // were taken...
+    EXPECT_LE(ser.samples(), 8u);
+    EXPECT_GE(ser.samples(), 4u); // decimation halves, never empties
+    // ...and the retained rows still span the whole run: the first
+    // sample survives every decimation, the final stop() sample is
+    // appended last.
+    ASSERT_GE(ser.samples(), 2u);
+    EXPECT_DOUBLE_EQ(ser.rows.front()[0], 0.0);
+    EXPECT_GT(ser.rows.back()[0], 8.0);
+    // Timestamps stay monotonic through in-place compaction.
+    for (std::size_t i = 1; i < ser.tNanos.size(); ++i)
+        EXPECT_GE(ser.tNanos[i], ser.tNanos[i - 1]);
+    // Retained sample values stay monotonic too (every row is a
+    // surviving original, not an interpolation).
+    for (std::size_t i = 1; i < ser.rows.size(); ++i)
+        EXPECT_GT(ser.rows[i][0], ser.rows[i - 1][0]);
+}
+
+TEST(Sampler, ZeroCapMeansUnbounded)
+{
+    std::atomic<int> calls{0};
+    Sampler s({"n"}, [&calls] {
+        return std::vector<double>{
+            static_cast<double>(calls.fetch_add(1))};
+    });
+    s.start(100us, /*max_samples=*/0);
+    while (calls.load() < 20)
+        std::this_thread::sleep_for(1ms);
+    s.stop();
+    // No decimation: every sample taken was retained.
+    EXPECT_GE(s.series().samples(), 20u);
+}
+
+TEST(Sampler, TinyCapIsRejected)
+{
+    Sampler s({"x"}, [] { return std::vector<double>{0.0}; });
+    // A cap of 1 cannot hold the immediate + final samples.
+    EXPECT_THROW(s.start(1000us, 1), PanicError);
+}
+
 } // namespace
 } // namespace halo::obs

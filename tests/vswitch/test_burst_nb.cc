@@ -89,11 +89,20 @@ TEST(BurstNb, EmptyAndOversizedBatches)
 {
     BurstRig rig;
     auto vs = rig.makeSwitch();
+    auto reference = rig.makeSwitch();
     EXPECT_TRUE(vs.classifyBurstNB({}).empty());
-    // A batch exceeding the key-staging ring must be rejected loudly
-    // rather than silently corrupting in-flight keys.
-    std::vector<FiveTuple> huge(1024 / vs.tupleSpace().numTuples() + 1);
-    EXPECT_THROW(vs.classifyBurstNB(huge), PanicError);
+    // A batch exceeding the key-staging ring is split into chunks that
+    // fit, never silently corrupting in-flight keys.
+    const std::size_t huge_n = 1024 / vs.tupleSpace().numTuples() + 3;
+    std::vector<FiveTuple> huge(huge_n);
+    for (std::size_t i = 0; i < huge_n; ++i)
+        huge[i] = rig.gen.flows()[i];
+    const auto burst = vs.classifyBurstNB(huge);
+    ASSERT_EQ(burst.size(), huge_n);
+    for (std::size_t i = 0; i < huge_n; ++i) {
+        const PacketResult single = reference.classifyTuple(huge[i]);
+        EXPECT_EQ(burst[i].matched, single.matched) << "packet " << i;
+    }
 }
 
 TEST(BurstNb, MissesReportUnmatched)
