@@ -50,6 +50,7 @@
 #include "flow/ruleset.hh"
 #include "flow/tuple_space.hh"
 #include "obs/json.hh"
+#include "obs/meta.hh"
 #include "obs/metrics.hh"
 #include "vswitch/vswitch.hh"
 
@@ -524,6 +525,7 @@ writeJson(const std::string &path, const Results &res,
     obs::JsonWriter j(out);
     j.beginObject();
     j.kv("benchmark", "host_throughput");
+    obs::writeMetaBlock(j);
     j.kv("unit", "ops_per_sec");
     j.kv("min_time_sec", minTime);
     j.kv("burst", static_cast<std::uint64_t>(burstWindow));

@@ -60,6 +60,7 @@
 #include "flow/ruleset.hh"
 #include "hash/table_layout.hh"
 #include "obs/json.hh"
+#include "obs/meta.hh"
 #include "obs/metrics.hh"
 #include "runtime/runtime.hh"
 
@@ -277,6 +278,7 @@ writeJson(const Options &opt, const std::vector<ScaleResult> &runs,
     obs::JsonWriter j(out);
     j.beginObject();
     j.kv("benchmark", "multiworker_throughput");
+    obs::writeMetaBlock(j);
     j.kv("scenario", "ManyFlows");
     j.kv("flows", flows);
     j.kv("packets_per_run", packets);

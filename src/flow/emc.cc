@@ -35,10 +35,63 @@ ExactMatchCache::hashKey(
 }
 
 std::optional<std::uint64_t>
+ExactMatchCache::lookupConcurrent(
+    std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+    AccessTrace *trace) const
+{
+    const std::uint64_t h = hashKey(key);
+    const std::uint32_t sig = shortSignature(h);
+    const std::uint64_t idx[2] = {h & (numEntries - 1),
+                                  (h >> 32) & (numEntries - 1)};
+
+    for (int probe = 0; probe < 2; ++probe) {
+        const Addr slot = slotAddr(idx[probe]);
+        recordRef(trace, slot, slotBytes, false, AccessPhase::Bucket,
+                  probe == 0);
+        // Per-slot seqlock read section: slots are independent, so a
+        // retry re-copies only this slot (no refs recorded inside the
+        // loop — the probe above is the one the scalar path records).
+        alignas(8) std::uint8_t view[slotBytes];
+        for (;;) {
+            const std::uint32_t v = seq_.readBegin(idx[probe]);
+            if (v & 1u) {
+                seqRetries_.fetch_add(1, std::memory_order_relaxed);
+                cpuRelax();
+                continue;
+            }
+            mem.readAtomic(slot, view, slotBytes);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (!seq_.readRetry(idx[probe], v))
+                break;
+            seqRetries_.fetch_add(1, std::memory_order_relaxed);
+            cpuRelax();
+        }
+        std::uint32_t slot_gen, slot_sig;
+        std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
+        if (slot_gen != generation)
+            continue;
+        std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
+        if (slot_sig != sig)
+            continue;
+        if (std::memcmp(view + keyOffset, key.data(), key.size()) == 0) {
+            std::uint64_t value;
+            std::memcpy(&value, view + valueOffset, sizeof(value));
+            return value;
+        }
+        if (idx[0] == idx[1])
+            break;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
 ExactMatchCache::lookup(
     std::span<const std::uint8_t, FiveTuple::keyBytes> key,
     AccessTrace *trace) const
 {
+    if (concurrent_) [[unlikely]]
+        return lookupConcurrent(key, trace);
+
     const std::uint64_t h = hashKey(key);
     const std::uint32_t sig = shortSignature(h);
     // Two candidate positions from independent halves of the hash
@@ -79,6 +132,26 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
                             AccessTrace *const *traces) const
 {
     HALO_ASSERT(n <= maxBulkLanes, "bulk EMC probe burst too large");
+
+    if (concurrent_) [[unlikely]] {
+        // Under a concurrent writer every probe must take the
+        // seqlock-validated path; lane-at-a-time (the decoupled
+        // runtime runs scalar workers, so this is off the hot path).
+        std::uint32_t found = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::span<const std::uint8_t, FiveTuple::keyBytes> key(
+                keys[i], FiveTuple::keyBytes);
+            const std::uint64_t h = hashKey(key);
+            slots[i][0] = h & (numEntries - 1);
+            slots[i][1] = (h >> 32) & (numEntries - 1);
+            if (const auto v =
+                    lookupConcurrent(key, traces ? traces[i] : nullptr)) {
+                values[i] = *v;
+                found |= 1u << i;
+            }
+        }
+        return found;
+    }
 
     struct Lane
     {
@@ -170,12 +243,66 @@ ExactMatchCache::insert(
         }
     }
 
-    mem.store<std::uint32_t>(victim + sigOffset, sig);
-    mem.store<std::uint32_t>(victim + genOffset, generation);
-    mem.write(victim + keyOffset, key.data(), key.size());
-    mem.store<std::uint64_t>(victim + valueOffset, value);
+    if (concurrent_) [[unlikely]] {
+        // Compose the slot off to the side, then publish it under the
+        // victim's seqlock in atomic words.
+        alignas(8) std::uint8_t slot[slotBytes];
+        std::memcpy(slot + sigOffset, &sig, sizeof(sig));
+        std::memcpy(slot + genOffset, &generation, sizeof(generation));
+        std::memcpy(slot + keyOffset, key.data(), key.size());
+        std::memcpy(slot + valueOffset, &value, sizeof(value));
+        const std::uint64_t victim_idx = (victim - base) / slotBytes;
+        seq_.writeBegin(victim_idx);
+        mem.writeAtomic(victim, slot, slotBytes);
+        seq_.writeEnd(victim_idx);
+    } else {
+        mem.store<std::uint32_t>(victim + sigOffset, sig);
+        mem.store<std::uint32_t>(victim + genOffset, generation);
+        mem.write(victim + keyOffset, key.data(), key.size());
+        mem.store<std::uint64_t>(victim + valueOffset, value);
+    }
     recordRef(trace, victim, slotBytes, true, AccessPhase::Bucket);
     return (victim - base) / slotBytes;
+}
+
+bool
+ExactMatchCache::erase(
+    std::span<const std::uint8_t, FiveTuple::keyBytes> key)
+{
+    const std::uint64_t h = hashKey(key);
+    const std::uint32_t sig = shortSignature(h);
+    const std::uint64_t idx[2] = {h & (numEntries - 1),
+                                  (h >> 32) & (numEntries - 1)};
+
+    for (int probe = 0; probe < 2; ++probe) {
+        const Addr slot = slotAddr(idx[probe]);
+        // Writer-side plain reads: the single writer owns all stores.
+        if (mem.load<std::uint32_t>(slot + genOffset) != generation ||
+            mem.load<std::uint32_t>(slot + sigOffset) != sig ||
+            !mem.equals(slot + keyOffset, key.data(), key.size())) {
+            if (idx[0] == idx[1])
+                break;
+            continue;
+        }
+        if (concurrent_) [[unlikely]] {
+            alignas(8) const std::uint8_t zeros[slotBytes] = {};
+            seq_.writeBegin(idx[probe]);
+            mem.writeAtomic(slot, zeros, slotBytes);
+            seq_.writeEnd(idx[probe]);
+        } else {
+            mem.zero(slot, slotBytes);
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+ExactMatchCache::enableConcurrent()
+{
+    HALO_ASSERT(!concurrent_, "concurrent mode enabled twice");
+    seq_.reset(numEntries);
+    concurrent_ = true;
 }
 
 void

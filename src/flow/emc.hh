@@ -13,11 +13,13 @@
 #ifndef HALO_FLOW_EMC_HH
 #define HALO_FLOW_EMC_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
 #include "hash/access.hh"
 #include "hash/hash_fn.hh"
+#include "hash/seqlock.hh"
 #include "hash/table_layout.hh"
 #include "mem/sim_memory.hh"
 #include "net/headers.hh"
@@ -33,6 +35,20 @@ class ExactMatchCache
   public:
     ExactMatchCache(SimMemory &memory, std::uint64_t entries = 8192,
                     std::uint64_t seed = 0x9d1cu);
+
+    /** Movable for container storage (setup-time only — never move a
+     *  cache other threads are reading). */
+    ExactMatchCache(ExactMatchCache &&other) noexcept
+        : mem(other.mem),
+          numEntries(other.numEntries),
+          seed_(other.seed_),
+          base(other.base),
+          generation(other.generation),
+          concurrent_(other.concurrent_),
+          seq_(std::move(other.seq_)),
+          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed))
+    {
+    }
 
     /** Look up a full key; hit returns the stored value. */
     std::optional<std::uint64_t>
@@ -64,8 +80,32 @@ class ExactMatchCache
     insert(std::span<const std::uint8_t, FiveTuple::keyBytes> key,
            std::uint64_t value, AccessTrace *trace = nullptr);
 
+    /**
+     * Remove one key (flow aging / revalidation of a single entry).
+     * Writer-side operation; zeroes the whole slot, and generation 0 is
+     * never valid (the live generation starts at 1 and only grows).
+     * @return true when the key was cached.
+     */
+    bool erase(std::span<const std::uint8_t, FiveTuple::keyBytes> key);
+
     /** Invalidate everything (rule-table revalidation). */
     void clear();
+
+    /** @name Concurrent host-path mode (single writer, seqlocked readers)
+     *
+     * Mirrors CuckooHashTable::enableConcurrent(): per-slot seqlock
+     * counters let one writer insert()/erase() while data-path readers
+     * lookup() lock-free. Call before threads start.
+     */
+    /**@{*/
+    void enableConcurrent();
+    bool concurrentEnabled() const { return concurrent_; }
+    std::uint64_t
+    seqlockRetries() const
+    {
+        return seqRetries_.load(std::memory_order_relaxed);
+    }
+    /**@}*/
 
     std::uint64_t entryCount() const { return numEntries; }
     std::uint64_t footprintBytes() const { return numEntries * slotBytes; }
@@ -89,11 +129,22 @@ class ExactMatchCache
     std::uint64_t hashKey(
         std::span<const std::uint8_t, FiveTuple::keyBytes> key) const;
 
+    /** Seqlock-validated probe used for every lookup in concurrent
+     *  mode; records the same refs as the plain lookup. */
+    std::optional<std::uint64_t> lookupConcurrent(
+        std::span<const std::uint8_t, FiveTuple::keyBytes> key,
+        AccessTrace *trace) const;
+
     SimMemory &mem;
     std::uint64_t numEntries;
     std::uint64_t seed_;
     Addr base = invalidAddr;
     std::uint32_t generation = 1;
+
+    /// Concurrent host-path mode (host-side seqlocks, one per slot).
+    bool concurrent_ = false;
+    SeqlockArray seq_;
+    mutable std::atomic<std::uint64_t> seqRetries_{0};
 };
 
 } // namespace halo

@@ -13,30 +13,42 @@ TupleSpace::TupleSpace(SimMemory &memory, const Config &config)
 {
 }
 
+unsigned
+TupleSpace::ensureTuple(const FlowMask &mask)
+{
+    for (unsigned i = 0; i < tuples.size(); ++i) {
+        if (tuples[i]->mask == mask)
+            return i;
+    }
+    CuckooHashTable::Config tcfg;
+    tcfg.keyLen = FiveTuple::keyBytes;
+    tcfg.capacity = cfg.tupleCapacity;
+    tcfg.hashKind = cfg.hashKind;
+    tcfg.seed = cfg.seed + tuples.size() * 0x9e3779b9u;
+    tuples.push_back(std::make_unique<Tuple>(mem, mask, tcfg));
+    return static_cast<unsigned>(tuples.size() - 1);
+}
+
 bool
 TupleSpace::addRule(const FlowRule &rule)
 {
-    Tuple *tuple = nullptr;
-    for (auto &t : tuples) {
-        if (t->mask == rule.mask) {
-            tuple = t.get();
-            break;
-        }
-    }
-    if (!tuple) {
-        CuckooHashTable::Config tcfg;
-        tcfg.keyLen = FiveTuple::keyBytes;
-        tcfg.capacity = cfg.tupleCapacity;
-        tcfg.hashKind = cfg.hashKind;
-        tcfg.seed = cfg.seed + tuples.size() * 0x9e3779b9u;
-        tuples.push_back(
-            std::make_unique<Tuple>(mem, rule.mask, tcfg));
-        tuple = tuples.back().get();
-    }
+    Tuple *tuple = tuples[ensureTuple(rule.mask)].get();
     const std::uint64_t value = encodeRuleValue(rule.action,
                                                 rule.priority);
     return tuple->table.insert(
         KeyView(rule.maskedKey.data(), rule.maskedKey.size()), value);
+}
+
+bool
+TupleSpace::eraseRule(const FlowMask &mask,
+                      std::span<const std::uint8_t> masked_key)
+{
+    for (auto &t : tuples) {
+        if (t->mask == mask)
+            return t->table.erase(
+                KeyView(masked_key.data(), masked_key.size()));
+    }
+    return false;
 }
 
 std::optional<TupleMatch>
@@ -44,6 +56,10 @@ TupleSpace::lookupFirst(std::span<const std::uint8_t> key,
                         AccessTrace *trace) const
 {
     HALO_ASSERT(key.size() == FiveTuple::keyBytes);
+    // Stack-local masked-key scratch: lookupFirst/lookupBest may run on
+    // a data-path worker and the revalidator concurrently, so they must
+    // not share a member buffer.
+    std::array<std::uint8_t, FiveTuple::keyBytes> maskScratch;
     unsigned searched = 0;
     for (unsigned i = 0; i < tuples.size(); ++i) {
         tuples[i]->mask.applyInto(key, maskScratch.data());
@@ -120,6 +136,7 @@ TupleSpace::lookupBest(std::span<const std::uint8_t> key,
                        AccessTrace *trace) const
 {
     HALO_ASSERT(key.size() == FiveTuple::keyBytes);
+    std::array<std::uint8_t, FiveTuple::keyBytes> maskScratch;
     std::optional<TupleMatch> best;
     for (unsigned i = 0; i < tuples.size(); ++i) {
         tuples[i]->mask.applyInto(key, maskScratch.data());

@@ -68,6 +68,22 @@ class TupleSpace
      */
     bool addRule(const FlowRule &rule);
 
+    /**
+     * Create (or find) the tuple for @p mask without inserting a rule,
+     * and return its index. The decoupled runtime pre-creates every
+     * tuple a revalidator may install into during setup, so the tuple
+     * vector — and the SimMemory allocator behind it — is never
+     * mutated while data-path readers walk the space.
+     */
+    unsigned ensureTuple(const FlowMask &mask);
+
+    /**
+     * Remove the rule stored under (@p mask, @p masked_key), if any
+     * (flow aging). @return true when a rule was removed.
+     */
+    bool eraseRule(const FlowMask &mask,
+                   std::span<const std::uint8_t> masked_key);
+
     /** First-match search (MegaFlow semantics). */
     std::optional<TupleMatch>
     lookupFirst(std::span<const std::uint8_t> key,
@@ -151,10 +167,9 @@ class TupleSpace
     SimMemory &mem;
     Config cfg;
     std::vector<std::unique_ptr<Tuple>> tuples;
-    /// Masked-key scratch reused across tuple probes (no per-probe
-    /// buffer; lookups stay logically const).
-    mutable std::array<std::uint8_t, FiveTuple::keyBytes> maskScratch{};
-    /// Per-lane masked-key scratch for bulk walks.
+    /// Per-lane masked-key scratch for bulk walks (worker-only path;
+    /// scalar lookups use stack-local scratch so the revalidator can
+    /// search concurrently with the data path).
     mutable std::array<std::array<std::uint8_t, FiveTuple::keyBytes>,
                        maxBulkLanes>
         bulkMaskScratch{};

@@ -94,7 +94,43 @@ void
 CuckooHashTable::writeEntry(std::uint64_t bucket, unsigned way,
                             const BucketEntry &entry)
 {
+    if (concurrent_) [[unlikely]] {
+        // Seqlocked publish: readers snapshotting this bucket retry.
+        // Entries are exactly one aligned word, so the store itself is
+        // also atomic — a reader that races the window never sees a
+        // torn entry, only a counter mismatch.
+        std::uint64_t word;
+        std::memcpy(&word, &entry, sizeof(word));
+        seq_.writeBegin(bucket);
+        mem.storeWordAtomic(bucketEntryAddr(md, bucket, way), word);
+        seq_.writeEnd(bucket);
+        return;
+    }
     mem.store(bucketEntryAddr(md, bucket, way), entry);
+}
+
+void
+CuckooHashTable::enableConcurrent()
+{
+    HALO_ASSERT(!concurrent_, "concurrent mode enabled twice");
+    seq_.reset(md.numBuckets);
+    concurrent_ = true;
+}
+
+void
+CuckooHashTable::debugSeqWriteBegin(KeyView key)
+{
+    HALO_ASSERT(concurrent_, "seqlock hooks need concurrent mode");
+    std::uint32_t sig = 0;
+    seq_.writeBegin(primaryBucket(key, sig));
+}
+
+void
+CuckooHashTable::debugSeqWriteEnd(KeyView key)
+{
+    HALO_ASSERT(concurrent_, "seqlock hooks need concurrent mode");
+    std::uint32_t sig = 0;
+    seq_.writeEnd(primaryBucket(key, sig));
 }
 
 namespace {
@@ -190,12 +226,135 @@ CuckooHashTable::lookupUntraced(KeyView key) const
     return std::nullopt;
 }
 
+std::optional<std::uint64_t>
+CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
+                                  Addr key_addr) const
+{
+    // Same reference stream as the traced scalar lookup; the recorded
+    // version-lock samples now correspond to a protocol the host really
+    // runs (per-bucket, instead of the modeled table-wide counter).
+    if (trace) {
+        recordRef(trace, mdAddr, cacheLineBytes, false,
+                  AccessPhase::Metadata);
+        recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+        recordRef(trace, key_addr, static_cast<std::uint16_t>(md.keyLen),
+                  false, AccessPhase::KeyFetch);
+    }
+
+    std::uint32_t sig = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+    const bool low_entropy = md.numBuckets <= 8;
+    // Rewind point: a retry re-records the probe refs so the winning
+    // attempt's stream alone survives in the trace.
+    const std::size_t base = trace ? trace->size() : 0;
+
+    for (;;) {
+        const std::uint32_t v1 = seq_.readBegin(b1);
+        const std::uint32_t v2 = b2 == b1 ? v1 : seq_.readBegin(b2);
+        if ((v1 | v2) & 1u) { // writer mid-mutation: don't bother
+            seqRetries_.fetch_add(1, std::memory_order_relaxed);
+            cpuRelax();
+            continue;
+        }
+
+        bool hit = false;
+        bool stale = false;
+        std::uint64_t value = 0;
+
+        const auto probe_bucket = [&](std::uint64_t bucket, bool first) {
+            if (trace) {
+                recordRef(trace, bucketAddr(md, bucket), cacheLineBytes,
+                          false, AccessPhase::Bucket, /*depends=*/first);
+                trace->back().lowEntropyBranch = low_entropy;
+            }
+            alignas(8) std::uint8_t line[cacheLineBytes];
+            mem.readAtomic(bucketAddr(md, bucket), line, cacheLineBytes);
+            for (unsigned mask = scanBucketSigs(line, sig);
+                 mask && !hit && !stale; mask &= mask - 1) {
+                const unsigned way =
+                    static_cast<unsigned>(std::countr_zero(mask));
+                const BucketEntry entry = entryIn(line, way);
+                // Entries are single-word atomic so they cannot tear,
+                // but stay defensive about indices read mid-mutation:
+                // validation below rejects the attempt anyway.
+                if (entry.kvRef == 0 || entry.kvRef > md.kvSlots) {
+                    stale = true;
+                    break;
+                }
+                const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+                if (trace) {
+                    recordRef(trace, slot_addr,
+                              static_cast<std::uint16_t>(md.kvSlotBytes),
+                              false, AccessPhase::KeyValue,
+                              /*depends=*/true);
+                    trace->back().lowEntropyBranch = low_entropy;
+                }
+                alignas(8) std::uint8_t slot[8 + 64];
+                mem.readAtomic(slot_addr, slot, md.kvSlotBytes);
+                if (bytesEqual(key.data(), slot + kvKeyOffset,
+                               md.keyLen)) {
+                    std::memcpy(&value, slot + kvValueOffset,
+                                sizeof(value));
+                    hit = true;
+                }
+            }
+        };
+
+        probe_bucket(b1, true);
+        if (!hit && !stale && b2 != b1)
+            probe_bucket(b2, false);
+
+        // Order the data loads above before the counter re-check.
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (stale || seq_.readRetry(b1, v1) ||
+            (b2 != b1 && seq_.readRetry(b2, v2))) {
+            seqRetries_.fetch_add(1, std::memory_order_relaxed);
+            if (trace)
+                trace->resize(base);
+            cpuRelax();
+            continue;
+        }
+
+        if (trace)
+            recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+        if (!hit)
+            return std::nullopt;
+        return value;
+    }
+}
+
 std::uint32_t
 CuckooHashTable::lookupUntracedBulk(const std::uint8_t *const *keys,
                                     std::size_t n, std::uint64_t *values,
                                     AccessTrace *const *traces) const
 {
     HALO_ASSERT(n <= maxBulkLanes, "bulk lookup burst too large");
+
+    if (concurrent_) [[unlikely]] {
+        // The pipelined stages below read lines through plain loads;
+        // under a concurrent writer every probe must go through the
+        // seqlock-validated path instead. Lane-at-a-time is fine: the
+        // decoupled runtime runs its workers scalar (classifyBurst=1).
+        std::uint32_t found = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (traces) {
+                AccessTrace *tr = traces[i];
+                if (const auto v = lookupConcurrent(
+                        KeyView(keys[i], md.keyLen), tr, invalidAddr)) {
+                    values[i] = *v;
+                    found |= 1u << i;
+                }
+                continue;
+            }
+            if (const auto v = lookupConcurrent(
+                    KeyView(keys[i], md.keyLen), nullptr, invalidAddr)) {
+                values[i] = *v;
+                found |= 1u << i;
+            }
+        }
+        return found;
+    }
 
     struct Lane
     {
@@ -446,6 +605,8 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
 {
     HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
 
+    if (concurrent_) [[unlikely]]
+        return lookupConcurrent(key, trace, key_addr);
     if (!trace)
         return lookupUntraced(key);
 
@@ -648,7 +809,18 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
     // Update in place when the key already exists.
     if (auto loc = find(key, sig, b1, b2)) {
         bumpVersion(trace);
-        mem.store(kvSlotAddr(md, loc->slot) + kvValueOffset, value);
+        if (concurrent_) [[unlikely]] {
+            // The slot is referenced by a live bucket entry, so a
+            // reader may be copying it: gate the value store on the
+            // owning bucket's seqlock.
+            seq_.writeBegin(loc->bucket);
+            mem.storeWordAtomic(kvSlotAddr(md, loc->slot) +
+                                    kvValueOffset,
+                                value);
+            seq_.writeEnd(loc->bucket);
+        } else {
+            mem.store(kvSlotAddr(md, loc->slot) + kvValueOffset, value);
+        }
         recordRef(trace, kvSlotAddr(md, loc->slot), 8, true,
                   AccessPhase::KeyValue, true);
         bumpVersion(trace);
@@ -694,8 +866,21 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
 
     const std::uint32_t slot = allocSlot();
     const Addr slot_addr = kvSlotAddr(md, slot);
-    mem.store(slot_addr + kvValueOffset, value);
-    mem.write(slot_addr + kvKeyOffset, key.data(), key.size());
+    if (concurrent_) [[unlikely]] {
+        // Free slots are unreferenced, so no seqlock is needed for the
+        // kv write itself — but a reader chasing a stale (pre-erase)
+        // entry could still be copying these bytes, so the words go in
+        // atomically; that reader's bucket validation then rejects the
+        // snapshot. The bucket-entry publish below is what makes the
+        // slot visible, after the kv bytes are complete.
+        alignas(8) std::uint8_t kv[8 + 64] = {};
+        std::memcpy(kv + kvValueOffset, &value, sizeof(value));
+        std::memcpy(kv + kvKeyOffset, key.data(), key.size());
+        mem.writeAtomic(slot_addr, kv, md.kvSlotBytes);
+    } else {
+        mem.store(slot_addr + kvValueOffset, value);
+        mem.write(slot_addr + kvKeyOffset, key.data(), key.size());
+    }
     recordRef(trace, slot_addr, static_cast<std::uint16_t>(md.kvSlotBytes),
               true, AccessPhase::KeyValue);
 

@@ -19,6 +19,7 @@
 #ifndef HALO_HASH_CUCKOO_TABLE_HH
 #define HALO_HASH_CUCKOO_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "hash/access.hh"
+#include "hash/seqlock.hh"
 #include "hash/table_layout.hh"
 #include "mem/sim_memory.hh"
 
@@ -35,9 +37,18 @@ namespace halo {
 using KeyView = std::span<const std::uint8_t>;
 
 /**
- * Cuckoo hash table (paper SS2.2). Thread-unsafe by design: concurrency
+ * Cuckoo hash table (paper SS2.2). Thread-unsafe by default: concurrency
  * is an explicitly modeled effect (software version lock vs HALO
- * hardware lock), not a host-level property.
+ * hardware lock), not a host-level property, and every simulated bench
+ * runs the table in that mode bit-for-bit unchanged.
+ *
+ * enableConcurrent() additionally arms a host-path optimistic read
+ * protocol — per-bucket seqlock counters (hash/seqlock.hh) bumped
+ * around insert/erase/displacement, readers retrying on version change
+ * — so ONE writer thread may mutate the table while any number of
+ * data-path readers run lock-free. The simulated version-lock line
+ * stays the modeled protocol; the per-bucket counters are its host
+ * execution analog (HALO's per-line hardware lock bit, paper SS3.4).
  */
 class CuckooHashTable
 {
@@ -54,6 +65,21 @@ class CuckooHashTable
 
     /** Build an empty table inside @p memory. */
     CuckooHashTable(SimMemory &memory, const Config &config);
+
+    /** Movable for container storage (setup-time only — never move a
+     *  table other threads are reading). */
+    CuckooHashTable(CuckooHashTable &&other) noexcept
+        : mem(other.mem),
+          md(other.md),
+          mdAddr(other.mdAddr),
+          numItems(other.numItems),
+          displaceCount(other.displaceCount),
+          freeSlots(std::move(other.freeSlots)),
+          concurrent_(other.concurrent_),
+          seq_(std::move(other.seq_)),
+          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed))
+    {
+    }
 
     /** @name Functional operations */
     /**@{*/
@@ -148,6 +174,33 @@ class CuckooHashTable
     /** Number of displacement moves performed by inserts so far. */
     std::uint64_t cuckooMoves() const { return displaceCount; }
 
+    /** @name Concurrent host-path mode (single writer, seqlocked readers)
+     *
+     * Must be called before any other thread touches the table; from
+     * then on exactly one thread may call insert()/erase() while any
+     * number of threads call lookup()/lookupUntracedBulk(). Host
+     * members (size(), cuckooMoves(), ...) stay writer-owned.
+     */
+    /**@{*/
+    void enableConcurrent();
+    bool concurrentEnabled() const { return concurrent_; }
+
+    /** Reader retries forced by concurrent writes (relaxed counter). */
+    std::uint64_t
+    seqlockRetries() const
+    {
+        return seqRetries_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Test hooks: hold / release the seqlock of @p key's primary bucket
+     * as a writer would mid-mutation, so tests can pin a reader in its
+     * retry loop deterministically. Never use outside tests.
+     */
+    void debugSeqWriteBegin(KeyView key);
+    void debugSeqWriteEnd(KeyView key);
+    /**@}*/
+
   private:
     struct Located
     {
@@ -174,6 +227,18 @@ class CuckooHashTable
     /** Recording-free lookup used when no trace is requested. */
     std::optional<std::uint64_t> lookupUntraced(KeyView key) const;
 
+    /**
+     * Optimistic concurrent lookup (concurrent_ mode): snapshot both
+     * candidate buckets' seqlocks, word-copy the bucket lines and
+     * candidate kv slots atomically, and retry — rewinding @p trace to
+     * its pre-probe length — whenever either counter moved. Records the
+     * same reference stream as the traced scalar lookup (nullable
+     * @p trace skips recording).
+     */
+    std::optional<std::uint64_t>
+    lookupConcurrent(KeyView key, AccessTrace *trace,
+                     Addr key_addr) const;
+
     /** BFS for a displacement path ending in a free slot. */
     bool makeRoom(std::uint64_t bucket, AccessTrace *trace);
 
@@ -188,6 +253,13 @@ class CuckooHashTable
     std::uint64_t numItems = 0;
     std::uint64_t displaceCount = 0;
     std::vector<std::uint32_t> freeSlots; ///< host-side free list
+
+    /// Concurrent host-path mode: per-bucket seqlocks (host-side, not
+    /// simulated — layout and traces are unchanged) and a reader retry
+    /// counter. concurrent_ is set once before threads start.
+    bool concurrent_ = false;
+    SeqlockArray seq_;
+    mutable std::atomic<std::uint64_t> seqRetries_{0};
 };
 
 } // namespace halo

@@ -20,10 +20,11 @@
 #ifndef HALO_MEM_SIM_MEMORY_HH
 #define HALO_MEM_SIM_MEMORY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
-#include <vector>
 
 #include <sys/mman.h>
 
@@ -58,7 +59,8 @@ class SimMemory
     explicit SimMemory(std::uint64_t capacity = 4ull << 30)
         : capacityBytes(capacity),
           slabBytes((capacity + pageBytes - 1) & ~pageOffsetMask),
-          written((capacity + pageBytes - 1) / pageBytes, false)
+          numPages((capacity + pageBytes - 1) / pageBytes),
+          written(std::make_unique<std::atomic<std::uint8_t>[]>(numPages))
     {
         // A reservation, not a commitment: MAP_NORESERVE + lazy kernel
         // paging means an 8 GiB SimMemory costs address space, not RAM.
@@ -215,7 +217,7 @@ class SimMemory
             const std::uint64_t chunk = std::min(len, pageBytes - off);
             // Never-written pages are already zero; only clear pages
             // that have real data (keeps the kernel zero page mapped).
-            if (written[page])
+            if (written[page].load(std::memory_order_relaxed))
                 std::memset(slab + addr, 0, chunk);
             addr += chunk;
             len -= chunk;
@@ -236,19 +238,79 @@ class SimMemory
     materializedPages() const
     {
         std::size_t n = 0;
-        for (const bool w : written)
-            if (w)
+        for (std::uint64_t p = 0; p < numPages; ++p)
+            if (written[p].load(std::memory_order_relaxed))
                 ++n;
         return n;
     }
+
+    /**
+     * @name Relaxed atomic word accesses.
+     *
+     * The concurrent-table fast path (hash/seqlock.hh) needs the data
+     * bytes under a seqlock touched atomically on both sides: a table's
+     * single writer stores through these, optimistic readers word-copy
+     * out of rangeView()/lineView() pointers with the matching atomic
+     * loads. @p addr and @p len must be 8-byte multiples; ordering
+     * comes from the seqlock fences, these stay relaxed.
+     */
+    /**@{*/
+    /** Atomically store one 64-bit word. */
+    void
+    storeWordAtomic(Addr addr, std::uint64_t v)
+    {
+        HALO_ASSERT((addr & 7) == 0, "atomic word store must be aligned");
+        HALO_ASSERT(addr + 8 <= capacityBytes,
+                    "address beyond simulated memory");
+        touch(addr, 8);
+        __atomic_store_n(reinterpret_cast<std::uint64_t *>(slab + addr),
+                         v, __ATOMIC_RELAXED);
+    }
+
+    /** Word-wise atomic copy into simulated memory. */
+    void
+    writeAtomic(Addr addr, const void *src, std::uint64_t len)
+    {
+        HALO_ASSERT((addr & 7) == 0 && (len & 7) == 0,
+                    "atomic copies are word-granular");
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
+        touch(addr, len);
+        const auto *s = static_cast<const std::uint8_t *>(src);
+        for (std::uint64_t off = 0; off < len; off += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, s + off, 8);
+            __atomic_store_n(
+                reinterpret_cast<std::uint64_t *>(slab + addr + off), w,
+                __ATOMIC_RELAXED);
+        }
+    }
+
+    /** Word-wise atomic copy out of simulated memory. */
+    void
+    readAtomic(Addr addr, void *dst, std::uint64_t len) const
+    {
+        HALO_ASSERT((addr & 7) == 0 && (len & 7) == 0,
+                    "atomic copies are word-granular");
+        HALO_ASSERT(addr + len <= capacityBytes,
+                    "address beyond simulated memory");
+        auto *d = static_cast<std::uint8_t *>(dst);
+        for (std::uint64_t off = 0; off < len; off += 8) {
+            const std::uint64_t w = __atomic_load_n(
+                reinterpret_cast<const std::uint64_t *>(slab + addr +
+                                                        off),
+                __ATOMIC_RELAXED);
+            std::memcpy(d + off, &w, 8);
+        }
+    }
+    /**@}*/
 
   private:
     std::uint8_t *
     pagePtr(std::uint64_t page)
     {
-        HALO_ASSERT(page < written.size(),
-                    "address beyond simulated memory");
-        written[page] = true;
+        HALO_ASSERT(page < numPages, "address beyond simulated memory");
+        written[page].store(1, std::memory_order_relaxed);
         return slab + (page << pageShift);
     }
 
@@ -258,15 +320,20 @@ class SimMemory
         const std::uint64_t first = addr >> pageShift;
         const std::uint64_t last = (addr + len - 1) >> pageShift;
         for (std::uint64_t p = first; p <= last; ++p)
-            written[p] = true;
+            written[p].store(1, std::memory_order_relaxed);
     }
 
     std::uint64_t capacityBytes;
     std::uint64_t slabBytes;
     std::uint8_t *slab = nullptr;
+    std::uint64_t numPages = 0;
     /// Pages ever written through the API (lazy-materialization
     /// accounting; host memory itself is demand-paged by the kernel).
-    std::vector<bool> written;
+    /// Atomic bytes, not a packed bitset: a data-path worker and the
+    /// revalidator touch() disjoint regions of the same SimMemory
+    /// concurrently, and word-packed bits would make those updates
+    /// race.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> written;
     Addr brk = 0;
 };
 

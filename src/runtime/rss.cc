@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "hash/hash_fn.hh"
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -12,22 +13,79 @@ namespace halo {
 RssDispatcher::RssDispatcher(const RssConfig &config) : cfg(config)
 {
     HALO_ASSERT(cfg.numShards > 0, "RSS needs at least one shard");
-    table.resize(nextPowerOfTwo(std::max(cfg.tableEntries, 1u)));
-    resetTable();
+    tableSize_ = nextPowerOfTwo(std::max(cfg.tableEntries, 1u));
+    table_ =
+        std::make_unique<std::atomic<std::uint32_t>[]>(tableSize_);
+    bucketFlows_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(tableSize_);
+    // Initial spread is not a rebalance: store directly.
+    for (std::size_t b = 0; b < tableSize_; ++b) {
+        table_[b].store(static_cast<std::uint32_t>(b % cfg.numShards),
+                        std::memory_order_relaxed);
+        bucketFlows_[b].store(0, std::memory_order_relaxed);
+    }
 }
 
 void
 RssDispatcher::resetTable()
 {
-    for (std::size_t b = 0; b < table.size(); ++b)
-        table[b] = static_cast<std::uint32_t>(b % cfg.numShards);
+    for (std::size_t b = 0; b < tableSize_; ++b)
+        setEntry(static_cast<unsigned>(b),
+                 static_cast<unsigned>(b % cfg.numShards));
 }
 
 void
 RssDispatcher::setEntry(unsigned bucket, unsigned shard)
 {
     HALO_ASSERT(shard < cfg.numShards, "rebalance target out of range");
-    table.at(bucket) = shard;
+    HALO_ASSERT(bucket < tableSize_, "rebalance bucket out of range");
+    const std::uint32_t prev = table_[bucket].exchange(
+        static_cast<std::uint32_t>(shard), std::memory_order_relaxed);
+    if (prev != shard) {
+        rebalances_.add(1);
+        flowsMoved_.add(
+            bucketFlows_[bucket].load(std::memory_order_relaxed));
+    }
+}
+
+unsigned
+RssDispatcher::entry(unsigned bucket) const
+{
+    HALO_ASSERT(bucket < tableSize_, "bucket out of range");
+    return table_[bucket].load(std::memory_order_relaxed);
+}
+
+void
+RssDispatcher::noteNewFlow(const FiveTuple &tuple)
+{
+    bucketFlows_[bucketFor(tuple)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+RssDispatcher::noteFlowEnd(const FiveTuple &tuple)
+{
+    // Saturating decrement: an unpaired end must not wrap the count
+    // into a huge flows-moved charge on the next remap.
+    auto &c = bucketFlows_[bucketFor(tuple)];
+    std::uint64_t v = c.load(std::memory_order_relaxed);
+    while (v != 0 && !c.compare_exchange_weak(
+                         v, v - 1, std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+RssDispatcher::bucketFlowCount(unsigned bucket) const
+{
+    HALO_ASSERT(bucket < tableSize_, "bucket out of range");
+    return bucketFlows_[bucket].load(std::memory_order_relaxed);
+}
+
+void
+RssDispatcher::registerMetrics(obs::MetricsRegistry &reg) const
+{
+    reg.attachCounter("halo_rss_rebalances", {}, rebalances_);
+    reg.attachCounter("halo_rss_flows_moved", {}, flowsMoved_);
 }
 
 std::uint64_t

@@ -8,6 +8,16 @@
  * remapped at runtime to pull load off a hot shard (the "rebalance
  * map" — exactly how RSS indirection tables are retuned in practice).
  *
+ * The table entries are relaxed atomics so a rebalance (setEntry) may
+ * race the dispatching producer without a data race; a packet caught
+ * mid-remap lands on either the old or the new shard, which is the
+ * same transient NIC hardware exhibits. Rebalance cost is tracked:
+ * the dispatcher keeps a per-bucket live-flow count (noteNewFlow /
+ * noteFlowEnd, maintained by whoever observes flow arrivals) and every
+ * remap that actually changes a bucket's shard charges that bucket's
+ * flows to the flows-moved counter — the flows whose packets will now
+ * reach a shard with cold tables for them.
+ *
  * With the symmetric option the two directions of a connection hash
  * identically (hash::xxMixSymmetric orders the endpoint encodings
  * before digesting), so request and reply traffic of one flow always
@@ -18,12 +28,18 @@
 #ifndef HALO_RUNTIME_RSS_HH
 #define HALO_RUNTIME_RSS_HH
 
+#include <atomic>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "net/headers.hh"
+#include "sim/stats.hh"
 
 namespace halo {
+
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
 
 /** Dispatcher configuration. */
 struct RssConfig
@@ -48,7 +64,7 @@ class RssDispatcher
     unsigned numShards() const { return cfg.numShards; }
     unsigned tableEntries() const
     {
-        return static_cast<unsigned>(table.size());
+        return static_cast<unsigned>(tableSize_);
     }
 
     /** Full-width RSS digest of @p tuple (symmetric if configured). */
@@ -59,26 +75,54 @@ class RssDispatcher
     bucketFor(const FiveTuple &tuple) const
     {
         return static_cast<unsigned>(hashTuple(tuple) &
-                                     (table.size() - 1));
+                                     (tableSize_ - 1));
     }
 
     /** Shard @p tuple is steered to. */
     unsigned shardFor(const FiveTuple &tuple) const
     {
-        return table[bucketFor(tuple)];
+        return table_[bucketFor(tuple)].load(
+            std::memory_order_relaxed);
     }
 
-    /** Rebalance hook: repoint one indirection bucket at @p shard. */
+    /** Rebalance hook: repoint one indirection bucket at @p shard.
+     *  A remap that changes the bucket's shard counts one rebalance
+     *  and charges the bucket's live flows as moved. Safe to race
+     *  with a concurrently dispatching producer. */
     void setEntry(unsigned bucket, unsigned shard);
 
-    unsigned entry(unsigned bucket) const { return table.at(bucket); }
+    unsigned entry(unsigned bucket) const;
 
-    /** Restore the default round-robin bucket→shard spread. */
+    /** Restore the default round-robin bucket→shard spread (bulk
+     *  remap: counts one rebalance per changed bucket). */
     void resetTable();
+
+    /** @name Live-flow accounting (relaxed atomics, any thread)
+     *  Call noteNewFlow when a flow is first seen and noteFlowEnd
+     *  when it dies (e.g. aged out) so flowsMoved() reflects the real
+     *  cost of a remap. Unpaired ends saturate at zero. */
+    /**@{*/
+    void noteNewFlow(const FiveTuple &tuple);
+    void noteFlowEnd(const FiveTuple &tuple);
+    std::uint64_t bucketFlowCount(unsigned bucket) const;
+    /**@}*/
+
+    /** Indirection-table remaps that changed a bucket's shard. */
+    std::uint64_t rebalances() const { return rebalances_.value(); }
+    /** Live flows resident in remapped buckets at remap time. */
+    std::uint64_t flowsMoved() const { return flowsMoved_.value(); }
+
+    /** Attach halo_rss_rebalances / halo_rss_flows_moved as live
+     *  counters; the dispatcher must outlive @p reg. */
+    void registerMetrics(obs::MetricsRegistry &reg) const;
 
   private:
     RssConfig cfg;
-    std::vector<std::uint32_t> table;
+    std::size_t tableSize_ = 0;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> table_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bucketFlows_;
+    PublishedCounter rebalances_;
+    PublishedCounter flowsMoved_;
 };
 
 } // namespace halo

@@ -14,6 +14,16 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
       }())
 {
     HALO_ASSERT(cfg.numWorkers > 0, "runtime needs at least one worker");
+    if (cfg.decoupled) {
+        HALO_ASSERT(cfg.openflowRules,
+                    "decoupled mode needs OpenFlow slow-path rules");
+        upcallRing_ =
+            std::make_unique<MpscRing<UpcallRequest>>(
+                cfg.revalidator.ringCapacity);
+        activities_.reserve(cfg.numWorkers);
+        for (unsigned w = 0; w < cfg.numWorkers; ++w)
+            activities_.push_back(std::make_unique<FlowActivity>());
+    }
     workers_.reserve(cfg.numWorkers);
     for (unsigned w = 0; w < cfg.numWorkers; ++w) {
         WorkerConfig wc;
@@ -26,7 +36,52 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         wc.classifyBurst = cfg.classifyBurst;
         wc.warmTables = cfg.warmTables;
         wc.traceCapacity = cfg.traceCapacity;
+        if (cfg.decoupled) {
+            // The burst prepass-replay assumes tables quiesce between
+            // prepass and replay; the revalidator writes concurrently,
+            // so decoupled workers classify scalar.
+            wc.classifyBurst = 1;
+            wc.shard.vswitch.useOpenflowLayer = true;
+            wc.shard.vswitch.deferSlowPath = true;
+            wc.upcallRing = upcallRing_.get();
+            wc.activity = activities_[w].get();
+            wc.promoteSampleShift = cfg.promoteSampleShift;
+        }
         workers_.push_back(std::make_unique<Worker>(wc, rules));
+    }
+
+    if (cfg.openflowRules) {
+        for (auto &w : workers_) {
+            w->vswitch().installOpenflowRules(*cfg.openflowRules);
+            if (cfg.warmTables)
+                w->vswitch().warmTables();
+        }
+    }
+
+    if (cfg.decoupled) {
+        // Arm the single-writer protocol while still single-threaded:
+        // pre-create the exact-mask tuple every install targets (so
+        // the tuple vector and the SimMemory allocator never mutate
+        // at runtime), then turn on seqlocked concurrent mode for the
+        // megaflow tables and the EMC of every shard.
+        std::vector<Revalidator::ShardHooks> hooks;
+        hooks.reserve(workers_.size());
+        for (unsigned w = 0; w < workers_.size(); ++w) {
+            VirtualSwitch &vs = workers_[w]->vswitch();
+            Revalidator::ShardHooks h;
+            h.vswitch = &vs;
+            h.activity = activities_[w].get();
+            h.exactTuple = vs.tupleSpace().ensureTuple(FlowMask::exact());
+            for (unsigned t = 0; t < vs.tupleSpace().numTuples(); ++t)
+                vs.tupleSpace().table(t).enableConcurrent();
+            vs.emc().enableConcurrent();
+            hooks.push_back(h);
+        }
+        RevalidatorConfig rc = cfg.revalidator;
+        if (!rc.traceCapacity)
+            rc.traceCapacity = cfg.traceCapacity;
+        reval_ = std::make_unique<Revalidator>(rc, *upcallRing_,
+                                               std::move(hooks));
     }
 }
 
@@ -40,6 +95,8 @@ Runtime::~Runtime()
 void
 Runtime::start()
 {
+    if (reval_)
+        reval_->start();
     for (auto &w : workers_)
         w->start();
 }
@@ -89,15 +146,27 @@ Runtime::drain()
     for (auto &w : workers_)
         while (!w->ring().empty())
             std::this_thread::yield();
+    // Every packet is processed; let the revalidator catch up on the
+    // upcalls those packets produced before callers snapshot state.
+    if (upcallRing_) {
+        while (!upcallRing_->empty())
+            std::this_thread::yield();
+    }
 }
 
 void
 Runtime::stop()
 {
+    // Workers first (they produce upcalls), then the revalidator: its
+    // drain-on-stop consumes whatever is still queued before exiting.
     for (auto &w : workers_)
         w->requestStop();
     for (auto &w : workers_)
         w->join();
+    if (reval_) {
+        reval_->requestStop();
+        reval_->join();
+    }
 }
 
 RuntimeSnapshot
@@ -115,7 +184,14 @@ Runtime::snapshot() const
         s.matched += c.matched;
         s.emcHits += c.emcHits;
         s.busyNanos += c.busyNanos;
+        s.upcallsEnqueued += c.upcallsEnqueued;
+        s.promotesEnqueued += c.promotesEnqueued;
+        s.upcallDrops += c.upcallDrops;
         s.perWorker.push_back(c);
+    }
+    if (reval_) {
+        s.revalidator = reval_->counters();
+        s.upcallRingDepth = upcallRing_->size();
     }
     return s;
 }
@@ -129,13 +205,15 @@ Runtime::startSampler()
                                         "ring_full_drops"};
     for (std::size_t w = 0; w < workers_.size(); ++w)
         columns.push_back("worker" + std::to_string(w) + "_ring_depth");
+    if (upcallRing_)
+        columns.push_back("upcall_ring_depth");
     // The sample function runs on the sampler thread and restricts
     // itself to relaxed-atomic reads (published counters, ring
     // indices) per the stats threading contract.
     sampler_ = std::make_unique<obs::Sampler>(
         std::move(columns), [this]() {
             std::vector<double> row;
-            row.reserve(3 + workers_.size());
+            row.reserve(4 + workers_.size());
             row.push_back(static_cast<double>(offered_.value()));
             std::uint64_t processed = 0;
             for (const auto &w : workers_)
@@ -144,6 +222,9 @@ Runtime::startSampler()
             row.push_back(static_cast<double>(drops_.value()));
             for (const auto &w : workers_)
                 row.push_back(static_cast<double>(w->ring().size()));
+            if (upcallRing_)
+                row.push_back(
+                    static_cast<double>(upcallRing_->size()));
             return row;
         });
     sampler_->start(
@@ -189,12 +270,19 @@ void
 Runtime::writeChromeTrace(std::ostream &os) const
 {
     std::vector<obs::TraceThread> threads;
-    threads.reserve(workers_.size());
+    threads.reserve(workers_.size() + 1);
     for (std::size_t w = 0; w < workers_.size(); ++w) {
         obs::TraceThread t;
         t.recorder = workers_[w]->traceRecorder();
         t.label = "worker" + std::to_string(w);
         t.tid = static_cast<unsigned>(w + 1);
+        threads.push_back(std::move(t));
+    }
+    if (reval_ && reval_->traceRecorder()) {
+        obs::TraceThread t;
+        t.recorder = reval_->traceRecorder();
+        t.label = "revalidator";
+        t.tid = static_cast<unsigned>(workers_.size() + 1);
         threads.push_back(std::move(t));
     }
     obs::writeChromeTrace(os, threads);

@@ -33,6 +33,7 @@
 
 #include "net/traffic_gen.hh"
 #include "obs/sampler.hh"
+#include "runtime/revalidator.hh"
 #include "runtime/rss.hh"
 #include "runtime/worker.hh"
 
@@ -70,6 +71,26 @@ struct RuntimeConfig
     /// dropped, interval doubled), keeping memory and report size
     /// bounded on long runs. See obs::Sampler::Options::maxSamples.
     std::size_t samplerMaxSamples = 512;
+    /**
+     * Decoupled slow path (the OVS handler/revalidator split):
+     * workers never mutate classification state. MegaFlow misses and
+     * EMC promotions are offloaded over one bounded MPSC ring to a
+     * revalidator thread — the single writer — which resolves them
+     * against the OpenFlow layer, installs exact-match megaflow
+     * entries, and ages idle flows in the background. The megaflow
+     * tuple tables and EMCs run in seqlocked concurrent mode; the
+     * worker classifyBurst is forced to 1 (the burst prepass-replay
+     * assumes tables quiesce between prepass and replay, which a
+     * concurrent writer breaks).
+     */
+    bool decoupled = false;
+    RevalidatorConfig revalidator;
+    /// See WorkerConfig::promoteSampleShift.
+    unsigned promoteSampleShift = 3;
+    /// Slow-path rules installed into every shard's OpenFlow layer
+    /// (required for decoupled mode; also used by inline-upcall
+    /// baselines). Read during construction only; may be null.
+    const RuleSet *openflowRules = nullptr;
 };
 
 /** Lock-free aggregate view; coherent snapshot once workers quiesce. */
@@ -83,6 +104,14 @@ struct RuntimeSnapshot
     std::uint64_t matched = 0;
     std::uint64_t emcHits = 0;
     std::uint64_t busyNanos = 0;
+    /// @name Decoupled slow path (all zero when cfg.decoupled is off)
+    /**@{*/
+    std::uint64_t upcallsEnqueued = 0;
+    std::uint64_t promotesEnqueued = 0;
+    std::uint64_t upcallDrops = 0;
+    std::uint64_t upcallRingDepth = 0;
+    RevalidatorCounters revalidator;
+    /**@}*/
     std::vector<WorkerCounters> perWorker;
 };
 
@@ -132,6 +161,10 @@ class Runtime
     }
     Worker &worker(unsigned i) { return *workers_.at(i); }
     RssDispatcher &dispatcher() { return rss_; }
+    /** Null unless cfg.decoupled. */
+    Revalidator *revalidator() { return reval_.get(); }
+    /** Null unless cfg.decoupled. */
+    MpscRing<UpcallRequest> *upcallRing() { return upcallRing_.get(); }
 
     /** Spawn the worker threads. */
     void start();
@@ -187,7 +220,12 @@ class Runtime
   private:
     RuntimeConfig cfg;
     RssDispatcher rss_;
+    /// Decoupled slow path (order matters: rings and activities must
+    /// outlive the workers holding pointers into them).
+    std::unique_ptr<MpscRing<UpcallRequest>> upcallRing_;
+    std::vector<std::unique_ptr<FlowActivity>> activities_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    std::unique_ptr<Revalidator> reval_;
     std::thread producer_;
     std::unique_ptr<obs::Sampler> sampler_;
 

@@ -51,6 +51,12 @@ Worker::Worker(const WorkerConfig &config, const RuleSet &rules)
         resultBuf_.resize(cfg.batchSize);
     if (cfg.traceCapacity)
         trace_ = std::make_unique<obs::TraceRecorder>(cfg.traceCapacity);
+    if (cfg.upcallRing) {
+        recentMiss_.resize(1024);
+        rng_ = 0x9e3779b97f4a7c15ull ^ (cfg.id + 1);
+    }
+    if (cfg.activity)
+        shard_.vswitch().setActivityTracker(cfg.activity);
 }
 
 Worker::~Worker()
@@ -90,7 +96,58 @@ Worker::counters() const
     c.matched = matched_.value();
     c.emcHits = emcHits_.value();
     c.busyNanos = busyNanos_.value();
+    c.upcallsEnqueued = upcallsEnqueued_.value();
+    c.promotesEnqueued = promotesEnqueued_.value();
+    c.upcallDrops = upcallDrops_.value();
     return c;
+}
+
+void
+Worker::offload(const PacketResult &res)
+{
+    ++packetSeq_;
+    if (res.slowPathPending) {
+        // Dedup window: while a flow's install is in flight every one
+        // of its packets reports slowPathPending; one upcall is
+        // enough. Entries expire after ~4096 packets so a dropped
+        // upcall gets re-sent instead of wedging the flow.
+        const auto key = res.tuple.toKey();
+        const std::uint64_t h = activityHash(
+            std::span<const std::uint8_t>(key.data(), key.size()));
+        MissEntry &e = recentMiss_[h & (recentMiss_.size() - 1)];
+        if (e.hash == h && packetSeq_ - e.seenAt < 4096)
+            return;
+        e.hash = h;
+        e.seenAt = packetSeq_;
+        UpcallRequest rq;
+        rq.kind = UpcallRequest::Kind::Miss;
+        rq.worker = static_cast<std::uint16_t>(cfg.id);
+        rq.tuple = res.tuple;
+        if (cfg.upcallRing->tryPush(rq))
+            upcallsEnqueued_.add(1);
+        else
+            upcallDrops_.add(1);
+        return;
+    }
+    if (res.emcPromote) {
+        if (cfg.promoteSampleShift) {
+            // xorshift64: sample 1-in-2^shift promotions.
+            rng_ ^= rng_ << 13;
+            rng_ ^= rng_ >> 7;
+            rng_ ^= rng_ << 17;
+            if (rng_ & ((1ull << cfg.promoteSampleShift) - 1))
+                return;
+        }
+        UpcallRequest rq;
+        rq.kind = UpcallRequest::Kind::Promote;
+        rq.worker = static_cast<std::uint16_t>(cfg.id);
+        rq.tuple = res.tuple;
+        rq.value = res.promoteValue;
+        if (cfg.upcallRing->tryPush(rq))
+            promotesEnqueued_.add(1);
+        else
+            upcallDrops_.add(1);
+    }
 }
 
 void
@@ -131,6 +188,8 @@ Worker::threadMain()
                 for (std::size_t i = 0; i < n; ++i) {
                     matched += resultBuf_[i].matched ? 1 : 0;
                     emc_hits += resultBuf_[i].emcHit ? 1 : 0;
+                    if (cfg.upcallRing)
+                        offload(resultBuf_[i]);
                 }
             } else {
                 for (std::size_t i = 0; i < n; ++i) {
@@ -138,6 +197,8 @@ Worker::threadMain()
                         vs.processPacket(batchBuf_[i]);
                     matched += r.matched ? 1 : 0;
                     emc_hits += r.emcHit ? 1 : 0;
+                    if (cfg.upcallRing)
+                        offload(r);
                 }
             }
         }

@@ -33,10 +33,13 @@
 #include <thread>
 #include <vector>
 
+#include "flow/flow_activity.hh"
 #include "net/packet.hh"
 #include "obs/histogram.hh"
 #include "obs/trace.hh"
+#include "runtime/mpsc_ring.hh"
 #include "runtime/spsc_ring.hh"
+#include "runtime/upcall.hh"
 #include "sim/stats.hh"
 #include "vswitch/shard.hh"
 
@@ -65,6 +68,18 @@ struct WorkerConfig
     /// (0 = no recorder; HALO_TRACE_SCOPE sites then cost one
     /// thread-local check). 16 bytes per slot.
     std::size_t traceCapacity = 0;
+    /**
+     * Decoupled slow path: deferred misses/promotions are enqueued
+     * here (null = inline slow path). The ring is shared with the
+     * other workers; the revalidator drains it. Requires the shard
+     * vswitch to run with deferSlowPath.
+     */
+    MpscRing<UpcallRequest> *upcallRing = nullptr;
+    /// Flow-activity stamps for revalidator aging (null = off).
+    FlowActivity *activity = nullptr;
+    /// Sample 1-in-2^shift megaflow hits for EMC promotion upcalls
+    /// (OVS's probabilistic EMC insertion; 0 = promote every hit).
+    unsigned promoteSampleShift = 3;
 };
 
 /** Plain snapshot of a worker's published counters. */
@@ -77,6 +92,12 @@ struct WorkerCounters
     /// CPU time (CLOCK_THREAD_CPUTIME_ID) spent inside processPacket
     /// batches — excludes ring-empty idling and preemption.
     std::uint64_t busyNanos = 0;
+    /// Miss upcalls enqueued to the revalidator (decoupled mode).
+    std::uint64_t upcallsEnqueued = 0;
+    /// Promote upcalls enqueued (post-sampling).
+    std::uint64_t promotesEnqueued = 0;
+    /// Requests lost to a full upcall ring (drop-not-block).
+    std::uint64_t upcallDrops = 0;
 };
 
 class Worker
@@ -130,6 +151,9 @@ class Worker
 
   private:
     void threadMain();
+    /** Post-classification hook (decoupled mode): enqueue deferred
+     *  miss/promotion upcalls for one result. Worker thread only. */
+    void offload(const PacketResult &res);
 
     WorkerConfig cfg;
     SimMemory mem_; ///< private, shared-nothing
@@ -144,11 +168,27 @@ class Worker
     PublishedCounter matched_;
     PublishedCounter emcHits_;
     PublishedCounter busyNanos_;
+    PublishedCounter upcallsEnqueued_;
+    PublishedCounter promotesEnqueued_;
+    PublishedCounter upcallDrops_;
 
     obs::HdrHistogram batchHist_;           ///< worker thread only
     std::unique_ptr<obs::TraceRecorder> trace_; ///< worker thread only
     std::vector<Packet> batchBuf_;          ///< worker thread only
     std::vector<PacketResult> resultBuf_;   ///< worker thread only
+
+    /// Direct-mapped recent-miss cache (worker thread only):
+    /// suppresses duplicate Miss upcalls for a flow while its install
+    /// is in flight at the revalidator. Entries expire by packet
+    /// count, so a dropped upcall is re-sent shortly after.
+    struct MissEntry
+    {
+        std::uint64_t hash = 0;
+        std::uint64_t seenAt = 0;
+    };
+    std::vector<MissEntry> recentMiss_;
+    std::uint64_t packetSeq_ = 0; ///< worker thread only
+    std::uint64_t rng_ = 0;       ///< promote-sampling xorshift state
 };
 
 } // namespace halo

@@ -138,7 +138,8 @@ VirtualSwitch::openflowUpcall(const FiveTuple &tuple, PacketResult &res,
     // flow-install step; write cost is charged to "others" as OVS
     // batches installs off the packet path).
     FlowRule mega;
-    mega.mask = openflow.mask(best->tupleIndex);
+    mega.mask = cfg.exactUpcallInstalls ? FlowMask::exact()
+                                        : openflow.mask(best->tupleIndex);
     mega.maskedKey = mega.mask.apply(key);
     mega.priority = best->priority;
     mega.action = res.action;
@@ -494,6 +495,7 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
                                const SoftLane *lane)
 {
     PacketResult res;
+    res.tuple = tuple;
     const Cycles start = clock;
     Cycles now = start;
 
@@ -548,9 +550,23 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
     }
 
     // --- OpenFlow slow path on a MegaFlow miss (any lookup engine:
-    //     upcalls always run in software, as in OVS). ---
-    if (!res.matched && cfg.useOpenflowLayer)
-        openflowUpcall(tuple, res, now);
+    //     upcalls always run in software, as in OVS). Deferred mode
+    //     hands the miss back to the caller instead: the revalidator
+    //     thread owns the upcall and the install. ---
+    if (!res.matched && cfg.useOpenflowLayer) {
+        if (cfg.deferSlowPath)
+            res.slowPathPending = true;
+        else
+            openflowUpcall(tuple, res, now);
+    }
+
+    // Aging support: stamp the flow's activity slot on every match
+    // (one relaxed store; the revalidator compares against it).
+    if (activity_ && res.matched) [[unlikely]] {
+        const auto key = tuple.toKey();
+        activity_->touch(activityHash(
+            std::span<const std::uint8_t>(key.data(), key.size())));
+    }
 
     // --- Action execution + bookkeeping ("others" in Fig. 3). ---
     OpTrace &act = opScratch;
@@ -669,11 +685,19 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
         res.matched = true;
         res.action = Action::decode(match->value);
         if (cfg.useEmc) {
-            // Promote the flow into the EMC (write charged as part of
-            // "others"; OVS batches these inserts).
-            const std::uint64_t slot = emcCache.insert(key, match->value);
-            if (burstActive)
-                burst.writtenEmcSlots.push_back(slot);
+            if (cfg.deferSlowPath) {
+                // Single-writer invariant: the revalidator performs
+                // the insert; hand the wish back to the caller.
+                res.emcPromote = true;
+                res.promoteValue = match->value;
+            } else {
+                // Promote the flow into the EMC (write charged as part
+                // of "others"; OVS batches these inserts).
+                const std::uint64_t slot =
+                    emcCache.insert(key, match->value);
+                if (burstActive)
+                    burst.writtenEmcSlots.push_back(slot);
+            }
         }
     }
     if (haloSys) {

@@ -30,6 +30,7 @@
 #include "cpu/core_model.hh"
 #include "cpu/trace_builder.hh"
 #include "flow/emc.hh"
+#include "flow/flow_activity.hh"
 #include "flow/ruleset.hh"
 #include "flow/tuple_space.hh"
 #include "net/packet.hh"
@@ -55,6 +56,25 @@ struct VSwitchConfig
      * behaviour). Without it, MegaFlow misses are reported unmatched.
      */
     bool useOpenflowLayer = false;
+    /**
+     * Decoupled slow path: a MegaFlow miss does NOT run the OpenFlow
+     * upcall inline. The packet is returned with slowPathPending set
+     * (a provisional unmatched result) and the caller — the runtime
+     * worker — enqueues an upcall for the revalidator thread, the
+     * single writer of this shard's megaflow tables and EMC.
+     * Megaflow-hit EMC promotions are deferred the same way
+     * (emcPromote/promoteValue). Requires useOpenflowLayer.
+     */
+    bool deferSlowPath = false;
+    /**
+     * Inline upcalls install an exact-match (microflow) megaflow
+     * entry keyed on the full five-tuple instead of the winning
+     * OpenFlow rule's own mask — the same entries the decoupled
+     * revalidator installs, so inline vs decoupled churn comparisons
+     * are apples-to-apples. Off by default: the simulated benches
+     * keep the masked-install behaviour bit-for-bit.
+     */
+    bool exactUpcallInstalls = false;
     LookupMode mode = LookupMode::Software;
     /// EMC entries (OVS default 8192). The EMC runs in software in every
     /// mode; HALO modes can disable it entirely (it mostly misses at
@@ -85,6 +105,17 @@ struct PacketResult
     bool emcHit = false;
     Action action;
     unsigned tuplesSearched = 0;
+
+    /// The classified five-tuple, echoed back so callers that defer
+    /// slow-path work (cfg.deferSlowPath) can build the upcall.
+    FiveTuple tuple{};
+    /// MegaFlow miss whose upcall was deferred (cfg.deferSlowPath):
+    /// the caller owns enqueueing it to the revalidator.
+    bool slowPathPending = false;
+    /// MegaFlow hit whose EMC promotion was deferred: the caller may
+    /// forward {tuple, promoteValue} as a Promote upcall.
+    bool emcPromote = false;
+    std::uint64_t promoteValue = 0;
 
     Cycles total = 0;
     Cycles packetIo = 0;
@@ -201,6 +232,14 @@ class VirtualSwitch
     /** MegaFlow misses that were resolved by the OpenFlow layer. */
     std::uint64_t upcalls() const { return upcallCount; }
 
+    /** Route per-match activity stamps into @p activity (null = off).
+     *  The decoupled runtime wires the revalidator's aging here; one
+     *  relaxed store per matched packet, nothing else changes. */
+    void setActivityTracker(FlowActivity *activity)
+    {
+        activity_ = activity;
+    }
+
     /** Mode selected for the *next* packet (Hybrid consults the flow
      *  register). */
     LookupMode effectiveMode() const;
@@ -280,6 +319,7 @@ class VirtualSwitch
     TupleSpace tuples;   ///< MegaFlow layer
     TupleSpace openflow; ///< OpenFlow layer (slow path)
     std::uint64_t upcallCount = 0;
+    FlowActivity *activity_ = nullptr; ///< aging stamps (may be null)
     TraceBuilder tableBuilder; ///< Table-1 profile (cuckoo lookups)
     TraceBuilder emcBuilder;   ///< lighter profile for EMC probes
 

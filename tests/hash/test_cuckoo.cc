@@ -78,6 +78,114 @@ TEST(Cuckoo, EraseRemovesAndFreesSlot)
     }
 }
 
+/**
+ * Erase interleaved with displacement churn near the load-factor
+ * ceiling: keys erased mid-sequence must stay gone, survivors must
+ * stay findable with their latest value even after cuckoo moves
+ * relocate them, and freed slots must admit new keys.
+ */
+TEST(Cuckoo, EraseInterleavedWithDisplacementAtHighLoad)
+{
+    SimMemory mem(64 << 20);
+    const std::uint64_t capacity = 30000;
+    CuckooHashTable t(mem, {16, capacity, HashKind::XxMix, 15, 0.95});
+    std::map<std::uint64_t, std::uint64_t> ref;
+
+    // Fill to the ceiling so every later insert displaces.
+    for (std::uint64_t i = 0; i < capacity; ++i)
+        if (t.insert(KeyView(makeKey(i)), i + 1))
+            ref[i] = i + 1;
+    const std::uint64_t movesAfterFill = t.cuckooMoves();
+    ASSERT_GT(movesAfterFill, 0u);
+
+    // Waves of erase-then-insert at full occupancy: each wave frees a
+    // pseudo-random cohort, then inserts fresh keys into the holes.
+    Xoshiro256 rng(0xe7a5e);
+    std::uint64_t next_id = capacity;
+    for (int wave = 0; wave < 8; ++wave) {
+        std::vector<std::uint64_t> victims;
+        for (const auto &[id, val] : ref)
+            if ((rng.next() & 7) == 0)
+                victims.push_back(id);
+        for (const std::uint64_t id : victims) {
+            ASSERT_TRUE(t.erase(KeyView(makeKey(id))));
+            EXPECT_FALSE(t.erase(KeyView(makeKey(id)))); // idempotent
+            ref.erase(id);
+        }
+        for (std::size_t n = 0; n < victims.size(); ++n) {
+            const std::uint64_t id = next_id++;
+            if (t.insert(KeyView(makeKey(id)), id + 1))
+                ref[id] = id + 1;
+        }
+    }
+    EXPECT_GT(t.cuckooMoves(), movesAfterFill)
+        << "waves never displaced: load too low to stress erase";
+
+    // No lost, resurrected, or corrupted entries.
+    EXPECT_EQ(t.size(), ref.size());
+    for (const auto &[id, val] : ref) {
+        const auto got = t.lookup(KeyView(makeKey(id)));
+        ASSERT_TRUE(got.has_value()) << "lost key " << id;
+        EXPECT_EQ(*got, val);
+    }
+    for (std::uint64_t id = 0; id < capacity; ++id) {
+        if (!ref.count(id)) {
+            ASSERT_FALSE(t.lookup(KeyView(makeKey(id))).has_value())
+                << "resurrected key " << id;
+        }
+    }
+}
+
+/**
+ * Tracing is observation only: an identical op sequence (with erase)
+ * against a traced and an untraced table must produce identical
+ * return values and identical final table state. Erase traces must
+ * record writes (version bumps + slot clear).
+ */
+TEST(Cuckoo, ErasedTracedMatchesUntraced)
+{
+    SimMemory mem_a(32 << 20), mem_b(32 << 20);
+    const CuckooHashTable::Config cfg{16, 512, HashKind::XxMix, 16,
+                                      0.95};
+    CuckooHashTable traced(mem_a, cfg), plain(mem_b, cfg);
+
+    Xoshiro256 rng(0x7ace);
+    bool sawEraseWrites = false;
+    for (int op = 0; op < 3000; ++op) {
+        const auto key = makeKey(rng.nextBounded(300));
+        const int what = static_cast<int>(rng.nextBounded(10));
+        AccessTrace trace;
+        if (what < 5) {
+            const std::uint64_t val = rng.next() | 1;
+            ASSERT_EQ(traced.insert(KeyView(key), val, &trace),
+                      plain.insert(KeyView(key), val));
+        } else if (what < 8) {
+            const bool erased = traced.erase(KeyView(key), &trace);
+            ASSERT_EQ(erased, plain.erase(KeyView(key)));
+            if (erased) {
+                unsigned writes = 0;
+                for (const MemRef &ref : trace)
+                    writes += ref.write ? 1 : 0;
+                EXPECT_GE(writes, 3u); // version bump x2 + slot clear
+                sawEraseWrites = true;
+            } else {
+                for (const MemRef &ref : trace)
+                    EXPECT_FALSE(ref.write); // miss mutates nothing
+            }
+        } else {
+            ASSERT_EQ(traced.lookup(KeyView(key), &trace),
+                      plain.lookup(KeyView(key)));
+        }
+    }
+    EXPECT_TRUE(sawEraseWrites);
+    EXPECT_EQ(traced.size(), plain.size());
+    for (std::uint64_t id = 0; id < 300; ++id) {
+        const auto key = makeKey(id);
+        ASSERT_EQ(traced.lookup(KeyView(key)),
+                  plain.lookup(KeyView(key)));
+    }
+}
+
 TEST(Cuckoo, FillsToHighOccupancyViaDisplacement)
 {
     SimMemory mem(64 << 20);

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpsc_ring.hh"
+
+using namespace halo;
+
+TEST(MpscRing, FifoOrderSingleThread)
+{
+    MpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99)); // full: drop, never block
+    EXPECT_EQ(ring.size(), 8u);
+
+    int v = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    MpscRing<int> ring(5); // rounds to 8
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(8));
+}
+
+TEST(MpscRing, SlotsFreedByPopBecomeReusable)
+{
+    MpscRing<int> ring(4);
+    int v = 0;
+    // Cycle through the ring several times its capacity.
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(ring.tryPush(round * 4 + i));
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(ring.tryPop(v));
+            EXPECT_EQ(v, round * 4 + i);
+        }
+    }
+}
+
+TEST(MpscRing, PopBatchDrainsUpToMax)
+{
+    MpscRing<int> ring(16);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    int buf[16];
+    EXPECT_EQ(ring.popBatch(buf, 4), 4u);
+    EXPECT_EQ(buf[0], 0);
+    EXPECT_EQ(buf[3], 3);
+    EXPECT_EQ(ring.popBatch(buf, 16), 6u);
+    EXPECT_EQ(buf[5], 9);
+    EXPECT_EQ(ring.popBatch(buf, 16), 0u);
+}
+
+/**
+ * The decoupled runtime's actual topology: several producer threads
+ * (workers) race tryPush against one consumer (the revalidator). Every
+ * pushed item must be delivered exactly once; overflow must come back
+ * as a failed push, never a lost or duplicated item. Runs under TSan
+ * in CI.
+ */
+TEST(MpscRing, MultiProducerSingleConsumerDeliversExactlyOnce)
+{
+    constexpr unsigned producers = 4;
+    constexpr std::uint64_t perProducer = 20000;
+    MpscRing<std::uint64_t> ring(1024);
+
+    std::vector<std::uint64_t> pushed(producers, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (unsigned p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < perProducer; ++i) {
+                // Tag items with their producer in the high bits.
+                const std::uint64_t item =
+                    (std::uint64_t(p) << 32) | i;
+                if (ring.tryPush(item))
+                    ++pushed[p];
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    // Consumer: drain until all producers are done and the ring is
+    // empty. Per producer, items must arrive in push order (each
+    // producer's sequence numbers strictly increase).
+    std::vector<std::uint64_t> received(producers, 0);
+    std::vector<std::int64_t> lastSeq(producers, -1);
+    bool producersDone = false;
+    while (true) {
+        std::uint64_t item = 0;
+        if (ring.tryPop(item)) {
+            const unsigned p = static_cast<unsigned>(item >> 32);
+            const std::int64_t seq =
+                static_cast<std::int64_t>(item & 0xffffffffu);
+            ASSERT_LT(p, producers);
+            ASSERT_GT(seq, lastSeq[p]);
+            lastSeq[p] = seq;
+            ++received[p];
+            continue;
+        }
+        if (producersDone)
+            break;
+        producersDone = true;
+        for (auto &t : threads)
+            t.join();
+        // One more drain pass after the last join.
+    }
+
+    for (unsigned p = 0; p < producers; ++p)
+        EXPECT_EQ(received[p], pushed[p]) << "producer " << p;
+}
