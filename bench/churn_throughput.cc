@@ -32,6 +32,7 @@
  *   churn_throughput [--out FILE] [--packets N] [--flows N]
  *                    [--workers N] [--smoke] [--prom FILE]
  *                    [--trace FILE] [--sample-us N]
+ *                    [--cuckoo-filter none|emoma|cuckoopp|both]
  *
  *   --out       JSON output path (default BENCH_churn.json)
  *   --packets   packets per run (default 200000)
@@ -45,6 +46,9 @@
  *   --prom      write the last run's metrics as Prometheus text
  *   --trace     write the last run's Chrome trace here
  *   --sample-us sampler interval in microseconds (default 2000)
+ *   --cuckoo-filter  lookup-filter mode of every shard's cuckoo
+ *               tables (EMOMA steering / Cuckoo++ negative filters,
+ *               DESIGN.md §13); recorded in the JSON meta block
  */
 
 #include <algorithm>
@@ -80,6 +84,7 @@ struct Options
     unsigned workers = 4;
     std::uint64_t sampleMicros = 2000;
     bool smoke = false;
+    CuckooFilter filter = CuckooFilter::None;
 };
 
 /** Deterministic, never-repeating five-tuple for flow @p id. */
@@ -175,6 +180,7 @@ runOnce(bool decoupled, double churn, const Options &opt,
     cfg.shardMemBytes = 2ull << 30; // lazily paged; bound, not footprint
     cfg.shard.vswitch.tupleConfig.tupleCapacity =
         nextPowerOfTwo(maxFlows);
+    cfg.shard.vswitch.tupleConfig.filter = opt.filter;
     cfg.shard.vswitch.useOpenflowLayer = true;
     cfg.rss.symmetric = true;
     cfg.enqueueRetries = 65536;
@@ -367,6 +373,7 @@ writeJson(const Options &opt, const std::vector<ChurnResult> &runs)
     j.kv("packets_per_run", opt.packets);
     j.kv("workers", opt.workers);
     j.kv("smoke", opt.smoke);
+    j.kv("cuckoo_filter", cuckooFilterName(opt.filter));
     j.kv("host_cpus", std::thread::hardware_concurrency());
     j.kv("zipf_skew", 0.9, 2);
     j.kv("headline_speedup_10pct_churn", speedupAt(runs, 0.1), 2);
@@ -445,12 +452,22 @@ main(int argc, char **argv)
             opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--smoke") {
             opt.smoke = true;
+        } else if (arg == "--cuckoo-filter" && i + 1 < argc) {
+            const auto mode = parseCuckooFilter(argv[++i]);
+            if (!mode) {
+                std::fprintf(stderr,
+                             "error: --cuckoo-filter wants one of "
+                             "none|emoma|cuckoopp|both\n");
+                return 2;
+            }
+            opt.filter = *mode;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--packets N] "
                          "[--flows N] [--workers N] [--smoke] "
                          "[--prom FILE] [--trace FILE] "
-                         "[--sample-us N]\n",
+                         "[--sample-us N] "
+                         "[--cuckoo-filter none|emoma|cuckoopp|both]\n",
                          argv[0]);
             return 2;
         }

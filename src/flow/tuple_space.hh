@@ -57,6 +57,9 @@ class TupleSpace
         std::uint64_t tupleCapacity = 65536;
         HashKind hashKind = HashKind::XxMix;
         std::uint64_t seed = 0x7a57e;
+        /// Lookup-filter mode applied to every tuple's cuckoo table
+        /// (EMOMA probe steering / Cuckoo++ negative filters).
+        CuckooFilter filter = CuckooHashTable::Config{}.filter;
     };
 
     explicit TupleSpace(SimMemory &memory);

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * EMOMA-style counting block filter (PAPERS.md: "Exact Match in One
+ * Memory Access").
+ *
+ * The filter answers one question for the cuckoo table: "could this key
+ * be stored in its ALTERNATE bucket?" Each key maps to one 64-byte
+ * block of 64 8-bit counters and to k = 3 counters inside that block —
+ * a single cache line touched per query, which is what makes the probe
+ * steering cheaper than the bucket read it replaces. The table
+ * increments the key's counters whenever the key comes to rest in its
+ * alternate bucket (insert or cuckoo displacement out of the primary)
+ * and decrements them when it moves home or is erased.
+ *
+ * A counting filter has NO false negatives, which is the whole
+ * correctness argument of the steering rule:
+ *
+ *   query == false  →  the key is definitely NOT in its alternate
+ *                      bucket, so probing the primary alone is a
+ *                      complete lookup — hits and misses both terminate
+ *                      after one bucket read;
+ *   query == true   →  probe the alternate first, then fall back to the
+ *                      primary. A false positive costs one extra bucket
+ *                      read, never a wrong answer.
+ *
+ * Counter saturation would break decrements (a saturated counter can no
+ * longer tell "many" from "one"), so the first add() that would push a
+ * counter past 255 marks the filter degraded: steering is disabled and
+ * every lookup falls back to the unfiltered two-bucket probe. With the
+ * default sizing (two counters per kv slot, k = 3) saturation needs
+ * ~85 alternate-resident keys colliding on one counter — unreachable in
+ * practice, but the escape hatch keeps it a perf cliff instead of a
+ * correctness bug.
+ *
+ * The counter array lives in SimMemory like every other table region,
+ * so the timing models see the filter line touch (AccessPhase::Filter).
+ * In concurrent mode the single writer mutates counters with word
+ * atomics and readers load them atomically; ordering rides the table's
+ * per-bucket seqlocks (the writer updates counters inside the same
+ * write section as the bucket entries they describe).
+ */
+
+#ifndef HALO_HASH_BLOCK_FILTER_HH
+#define HALO_HASH_BLOCK_FILTER_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "mem/sim_memory.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+class CountingBlockFilter
+{
+  public:
+    /** Counters hashed per key, all within one block. */
+    static constexpr unsigned countersPerKey = 3;
+
+    /** Counters per 64-byte block. */
+    static constexpr unsigned countersPerBlock = cacheLineBytes;
+
+    CountingBlockFilter() = default;
+
+    /**
+     * Allocate counters inside @p memory: two per kv slot, rounded up
+     * to a power-of-two block count (min one block). Never-written
+     * blocks read as zero, so a fresh filter is empty for free.
+     */
+    void
+    init(SimMemory &memory, std::uint64_t kv_slots)
+    {
+        HALO_ASSERT(base_ == invalidAddr, "filter initialized twice");
+        std::uint64_t blocks =
+            nextPowerOfTwo(ceilDiv(2 * kv_slots, countersPerBlock));
+        if (blocks < 1)
+            blocks = 1;
+        mem_ = &memory;
+        blockMask_ = blocks - 1;
+        base_ = memory.allocate(blocks * cacheLineBytes, cacheLineBytes);
+    }
+
+    bool enabled() const { return base_ != invalidAddr; }
+
+    /** Steering disabled after a counter saturated (see file comment). */
+    bool degraded() const { return degraded_; }
+
+    std::uint64_t numBlocks() const { return blockMask_ + 1; }
+
+    /** Base address of the counter region (forEachLine warm-up). */
+    Addr baseAddr() const { return base_; }
+
+    std::uint64_t footprintBytes() const
+    {
+        return enabled() ? numBlocks() * cacheLineBytes : 0;
+    }
+
+    /** Simulated address of @p hash's counter block (the one line a
+     *  query touches; callers record it as AccessPhase::Filter). */
+    Addr
+    blockAddr(std::uint64_t hash) const
+    {
+        return base_ + (mixOf(hash) >> 24 & blockMask_) * cacheLineBytes;
+    }
+
+    /** True when ALL of the key's counters are non-zero — i.e. the key
+     *  MAY rest in its alternate bucket (add() increments all k, so a
+     *  zero anywhere proves absence). Plain loads (single-thread). */
+    bool
+    query(std::uint64_t hash) const
+    {
+        const std::uint8_t *block = mem_->lineView(blockAddr(hash)).data();
+        const std::uint64_t mix = mixOf(hash);
+        bool maybe = true;
+        for (unsigned i = 0; i < countersPerKey; ++i)
+            maybe &= block[counterIndex(mix, i)] != 0;
+        return maybe;
+    }
+
+    /** query() through relaxed atomic word loads, for optimistic
+     *  readers racing the writer's counter updates. */
+    bool
+    queryAtomic(std::uint64_t hash) const
+    {
+        const Addr block = blockAddr(hash);
+        const std::uint64_t mix = mixOf(hash);
+        bool maybe = true;
+        for (unsigned i = 0; i < countersPerKey; ++i) {
+            const unsigned idx = counterIndex(mix, i);
+            alignas(8) std::uint8_t word[8];
+            mem_->readAtomic(block + (idx & ~7u), word, 8);
+            maybe &= word[idx & 7u] != 0;
+        }
+        return maybe;
+    }
+
+    /**
+     * Count @p hash's key as alternate-resident. @p atomic routes the
+     * byte read-modify-writes through word atomics (concurrent mode;
+     * the caller holds the affected buckets' seqlocks).
+     */
+    void
+    add(std::uint64_t hash, bool atomic)
+    {
+        const Addr block = blockAddr(hash);
+        const std::uint64_t mix = mixOf(hash);
+        for (unsigned i = 0; i < countersPerKey; ++i) {
+            const unsigned idx = counterIndex(mix, i);
+            const std::uint8_t c = counterLoad(block, idx);
+            if (c == 0xff) [[unlikely]] {
+                degraded_ = true;
+                continue; // saturate; never wrap
+            }
+            counterStore(block, idx, c + 1, atomic);
+        }
+    }
+
+    /** Undo one add() for @p hash (key moved home or was erased). */
+    void
+    remove(std::uint64_t hash, bool atomic)
+    {
+        const Addr block = blockAddr(hash);
+        const std::uint64_t mix = mixOf(hash);
+        for (unsigned i = 0; i < countersPerKey; ++i) {
+            const unsigned idx = counterIndex(mix, i);
+            const std::uint8_t c = counterLoad(block, idx);
+            // A saturated counter's true count is unknown: leave it
+            // pinned (the filter is already degraded).
+            if (c == 0 || c == 0xff) [[unlikely]]
+                continue;
+            counterStore(block, idx, c - 1, atomic);
+        }
+    }
+
+  private:
+    /** Remix the table hash so filter indices decorrelate from the
+     *  bucket index (the low hash bits) and the signature. */
+    static constexpr std::uint64_t
+    mixOf(std::uint64_t hash)
+    {
+        std::uint64_t x = hash * 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return x;
+    }
+
+    /** i-th counter index (0..63) inside the key's block. */
+    static constexpr unsigned
+    counterIndex(std::uint64_t mix, unsigned i)
+    {
+        return static_cast<unsigned>(mix >> (6 * i)) & 63u;
+    }
+
+    std::uint8_t
+    counterLoad(Addr block, unsigned idx) const
+    {
+        // The writer owns all mutations; a plain load is exact for it.
+        return mem_->lineView(block).data()[idx];
+    }
+
+    void
+    counterStore(Addr block, unsigned idx, std::uint8_t v, bool atomic)
+    {
+        if (!atomic) {
+            mem_->store<std::uint8_t>(block + idx, v);
+            return;
+        }
+        // Byte RMW through the containing word so racing readers never
+        // see a torn word (they validate via the bucket seqlocks, but
+        // the loads themselves must stay data-race-free).
+        const Addr word_addr = block + (idx & ~7u);
+        alignas(8) std::uint8_t word[8];
+        mem_->readAtomic(word_addr, word, 8);
+        word[idx & 7u] = v;
+        std::uint64_t w;
+        std::memcpy(&w, word, 8);
+        mem_->storeWordAtomic(word_addr, w);
+    }
+
+    SimMemory *mem_ = nullptr;
+    Addr base_ = invalidAddr;
+    std::uint64_t blockMask_ = 0;
+    bool degraded_ = false;
+};
+
+} // namespace halo
+
+#endif // HALO_HASH_BLOCK_FILTER_HH

@@ -56,6 +56,27 @@ scanBucketSigsScalar(const std::uint8_t *line, std::uint32_t sig)
     return mask;
 }
 
+/**
+ * Masked-signature reference scan for the negative-filter bucket layout
+ * (table_layout.hh): only the low 24 bits of each entry's sig dword are
+ * signature — the top byte is aux (Bloom/timestamp) and must be ignored
+ * by the compare. Occupancy still keys off the kvRef dword, which the
+ * aux bytes never touch.
+ */
+inline unsigned
+scanBucketSigsMaskedScalar(const std::uint8_t *line, std::uint32_t sig)
+{
+    unsigned mask = 0;
+    for (unsigned way = 0; way < entriesPerBucket; ++way) {
+        BucketEntry entry;
+        std::memcpy(&entry, line + way * bucketEntryBytes, sizeof(entry));
+        mask |= static_cast<unsigned>((entry.kvRef != 0) &
+                                      ((entry.sig & sig24Mask) == sig))
+                << way;
+    }
+    return mask;
+}
+
 #if !defined(HALO_FORCE_SCALAR_SCAN) && defined(__AVX2__)
 
 inline constexpr bool bucketScanSimd = true;
@@ -82,6 +103,33 @@ scanBucketSigsSimd(const std::uint8_t *line, std::uint32_t sig)
         // Bit 2k: signature match; bit 2k+1 of ~ze: occupied.
         unsigned m = eq & (~ze >> 1) & 0x55u;
         // Compress the even bits 0/2/4/6 down to ways 0..3.
+        m = (m | (m >> 1)) & 0x33u;
+        m = (m | (m >> 2)) & 0x0fu;
+        mask |= m << (4 * half);
+    }
+    return mask;
+}
+
+/** Masked variant: strip the aux byte from the sig dwords before the
+ *  compare; the zero (occupancy) test keeps the raw kvRef dwords. */
+inline unsigned
+scanBucketSigsMaskedSimd(const std::uint8_t *line, std::uint32_t sig)
+{
+    const __m256i target =
+        _mm256_set1_epi32(static_cast<std::int32_t>(sig));
+    const __m256i sig_mask =
+        _mm256_set1_epi32(static_cast<std::int32_t>(sig24Mask));
+    const __m256i zero = _mm256_setzero_si256();
+    unsigned mask = 0;
+    for (unsigned half = 0; half < 2; ++half) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(line + 32 * half));
+        const unsigned eq = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+                _mm256_and_si256(v, sig_mask), target))));
+        const unsigned ze = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))));
+        unsigned m = eq & (~ze >> 1) & 0x55u;
         m = (m | (m >> 1)) & 0x33u;
         m = (m | (m >> 2)) & 0x0fu;
         mask |= m << (4 * half);
@@ -116,6 +164,32 @@ scanBucketSigsSimd(const std::uint8_t *line, std::uint32_t sig)
     return mask;
 }
 
+/** Masked variant: strip the aux byte from the sig dwords before the
+ *  compare; the zero (occupancy) test keeps the raw kvRef dwords. */
+inline unsigned
+scanBucketSigsMaskedSimd(const std::uint8_t *line, std::uint32_t sig)
+{
+    const __m128i target =
+        _mm_set1_epi32(static_cast<std::int32_t>(sig));
+    const __m128i sig_mask =
+        _mm_set1_epi32(static_cast<std::int32_t>(sig24Mask));
+    const __m128i zero = _mm_setzero_si128();
+    unsigned mask = 0;
+    for (unsigned quarter = 0; quarter < 4; ++quarter) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(line + 16 * quarter));
+        const unsigned eq = static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(
+                _mm_and_si128(v, sig_mask), target))));
+        const unsigned ze = static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+        unsigned m = eq & (~ze >> 1) & 0x5u;
+        m = (m | (m >> 1)) & 0x3u;
+        mask |= m << (2 * quarter);
+    }
+    return mask;
+}
+
 #else
 
 inline constexpr bool bucketScanSimd = false;
@@ -132,6 +206,18 @@ scanBucketSigs(const std::uint8_t *line, std::uint32_t sig)
     return scanBucketSigsSimd(line, sig);
 #else
     return scanBucketSigsScalar(line, sig);
+#endif
+}
+
+/** Compile-time dispatched masked scan (negative-filter layout). */
+inline unsigned
+scanBucketSigsMasked(const std::uint8_t *line, std::uint32_t sig)
+{
+#if !defined(HALO_FORCE_SCALAR_SCAN) && \
+    (defined(__AVX2__) || defined(__SSE2__))
+    return scanBucketSigsMaskedSimd(line, sig);
+#else
+    return scanBucketSigsMaskedScalar(line, sig);
 #endif
 }
 

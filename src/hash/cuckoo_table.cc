@@ -49,14 +49,33 @@ CuckooHashTable::CuckooHashTable(SimMemory &memory, const Config &config)
     freeSlots.reserve(md.kvSlots);
     for (std::uint64_t s = md.kvSlots; s > 0; --s)
         freeSlots.push_back(static_cast<std::uint32_t>(s - 1));
+
+    // Lookup filters last, so a filter-off table's region layout stays
+    // byte-identical to builds that predate the filters.
+    filterMode_ = config.filter;
+    emoma_ = cuckooFilterSteers(filterMode_);
+    negFilter_ = cuckooFilterNegative(filterMode_);
+    if (emoma_)
+        filter_.init(mem, md.kvSlots);
 }
 
 std::uint64_t
-CuckooHashTable::primaryBucket(KeyView key, std::uint32_t &sig) const
+CuckooHashTable::primaryBucket(KeyView key, std::uint32_t &sig,
+                               std::uint64_t *hash_out) const
 {
     const std::uint64_t h =
         hashBytes(static_cast<HashKind>(md.hashKind), md.seed, key);
     sig = shortSignature(h);
+    if (negFilter_) {
+        // Negative-filter layout: the top sig byte is aux, so the
+        // stored (and compared, and alternate-deriving) signature is
+        // 24 bits, with 0 still reserved for "empty".
+        sig &= sig24Mask;
+        if (sig == 0)
+            sig = 1;
+    }
+    if (hash_out)
+        *hash_out = h;
     return h & md.bucketMask;
 }
 
@@ -75,19 +94,55 @@ CuckooHashTable::entryIn(const std::uint8_t *line, unsigned way)
 }
 
 unsigned
-CuckooHashTable::sigMatchMask(const std::uint8_t *line, std::uint32_t sig)
+CuckooHashTable::sigScan(const std::uint8_t *line, std::uint32_t sig) const
 {
     // Branchless over all 8 ways: the per-way occupied/signature branch
     // of the naive scan is data-dependent random on big tables, and the
     // resulting mispredicts serialize the lookup's memory chain. SIMD
-    // when the build carries it (bucket_scan.hh).
-    return scanBucketSigs(line, sig);
+    // when the build carries it (bucket_scan.hh). The negative-filter
+    // layout compares only the low 24 sig bits (the top byte is aux).
+    return negFilter_ ? scanBucketSigsMasked(line, sig)
+                      : scanBucketSigs(line, sig);
+}
+
+BucketEntry
+CuckooHashTable::entryAt(const std::uint8_t *line, unsigned way) const
+{
+    BucketEntry entry = entryIn(line, way);
+    if (negFilter_)
+        entry.sig &= sig24Mask;
+    return entry;
 }
 
 BucketEntry
 CuckooHashTable::readEntry(std::uint64_t bucket, unsigned way) const
 {
-    return entryIn(bucketLine(bucket), way);
+    return entryAt(bucketLine(bucket), way);
+}
+
+void
+CuckooHashTable::writeEntryRaw(std::uint64_t bucket, unsigned way,
+                               const BucketEntry &entry)
+{
+    BucketEntry stored = entry;
+    if (negFilter_) {
+        // The aux byte (Bloom/timestamp) shares the entry word: carry
+        // the current one through the store.
+        const std::uint8_t aux =
+            bucketLine(bucket)[way * bucketEntryBytes + auxByteInEntry];
+        stored.sig = (entry.sig & sig24Mask) |
+                     (static_cast<std::uint32_t>(aux) << 24);
+    }
+    if (concurrent_) [[unlikely]] {
+        // Entries are exactly one aligned word, so the store itself is
+        // atomic — a reader that races the write window never sees a
+        // torn entry, only a seqlock counter mismatch.
+        std::uint64_t word;
+        std::memcpy(&word, &stored, sizeof(word));
+        mem.storeWordAtomic(bucketEntryAddr(md, bucket, way), word);
+        return;
+    }
+    mem.store(bucketEntryAddr(md, bucket, way), stored);
 }
 
 void
@@ -96,17 +151,115 @@ CuckooHashTable::writeEntry(std::uint64_t bucket, unsigned way,
 {
     if (concurrent_) [[unlikely]] {
         // Seqlocked publish: readers snapshotting this bucket retry.
-        // Entries are exactly one aligned word, so the store itself is
-        // also atomic — a reader that races the window never sees a
-        // torn entry, only a counter mismatch.
-        std::uint64_t word;
-        std::memcpy(&word, &entry, sizeof(word));
         seq_.writeBegin(bucket);
-        mem.storeWordAtomic(bucketEntryAddr(md, bucket, way), word);
+        writeEntryRaw(bucket, way, entry);
         seq_.writeEnd(bucket);
         return;
     }
-    mem.store(bucketEntryAddr(md, bucket, way), entry);
+    writeEntryRaw(bucket, way, entry);
+}
+
+void
+CuckooHashTable::auxByteStore(std::uint64_t bucket, unsigned aux_index,
+                              std::uint8_t v)
+{
+    const Addr entry_addr = bucketEntryAddr(md, bucket, aux_index);
+    if (concurrent_) [[unlikely]] {
+        // Word RMW under the caller-held seqlock so concurrent readers
+        // word-copying the line stay race-free.
+        alignas(8) std::uint8_t word[8];
+        mem.readAtomic(entry_addr, word, 8);
+        word[auxByteInEntry] = v;
+        std::uint64_t w;
+        std::memcpy(&w, word, 8);
+        mem.storeWordAtomic(entry_addr, w);
+        return;
+    }
+    mem.store<std::uint8_t>(entry_addr + auxByteInEntry, v);
+}
+
+void
+CuckooHashTable::stampBucket(std::uint64_t bucket, AccessTrace *trace)
+{
+    if (!negFilter_)
+        return;
+    const std::uint8_t *line = bucketLine(bucket);
+    if (auxStampOf(line) == epoch_)
+        return; // already stamped this epoch (the common case)
+    for (unsigned i = 0; i < 4; ++i)
+        auxByteStore(bucket, 4 + i,
+                     static_cast<std::uint8_t>(epoch_ >> (8 * i)));
+    // One line-local byte store's worth of trace: the stamp rides the
+    // bucket line the mutation already owns.
+    recordRef(trace, bucketAddr(md, bucket) + auxByteOffset(4), 1, true,
+              AccessPhase::Bucket);
+}
+
+void
+CuckooHashTable::bloomAdd(std::uint64_t bucket, std::uint32_t sig,
+                          AccessTrace *trace)
+{
+    if (!negFilter_)
+        return;
+    const std::uint32_t bits = bloomBitsForSig(sig & sig24Mask);
+    const std::uint8_t *line = bucketLine(bucket);
+    const std::uint32_t bloom = auxBloomOf(line);
+    if ((bloom & bits) == bits)
+        return; // both bits already set
+    const std::uint32_t updated = bloom | bits;
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto b = static_cast<std::uint8_t>(updated >> (8 * i));
+        if (b != static_cast<std::uint8_t>(bloom >> (8 * i)))
+            auxByteStore(bucket, i, b);
+    }
+    recordRef(trace, bucketAddr(md, bucket) + auxByteOffset(0), 1, true,
+              AccessPhase::Bucket);
+}
+
+bool
+CuckooHashTable::bloomMayContain(const std::uint8_t *line,
+                                 std::uint32_t sig)
+{
+    const std::uint32_t bits = bloomBitsForSig(sig & sig24Mask);
+    return (auxBloomOf(line) & bits) == bits;
+}
+
+void
+CuckooHashTable::txBegin(std::uint64_t a, std::uint64_t b)
+{
+    if (!concurrent_) [[likely]]
+        return;
+    // One write section spanning every store of a filtered mutation:
+    // the nested-writeBegin a writeEntry() per store would do breaks
+    // the odd-means-writing invariant, so filtered paths lock the
+    // affected buckets once and use the raw store helpers inside.
+    seq_.writeBegin(a);
+    if (b != a)
+        seq_.writeBegin(b);
+}
+
+void
+CuckooHashTable::txEnd(std::uint64_t a, std::uint64_t b)
+{
+    if (!concurrent_) [[likely]]
+        return;
+    if (b != a)
+        seq_.writeEnd(b);
+    seq_.writeEnd(a);
+}
+
+std::uint32_t
+CuckooHashTable::bucketTimestamp(std::uint64_t bucket) const
+{
+    HALO_ASSERT(negFilter_, "bucket timestamps need a negative-filter "
+                "mode");
+    HALO_ASSERT(bucket < md.numBuckets);
+    if (concurrent_) [[unlikely]] {
+        alignas(8) std::uint8_t line[cacheLineBytes];
+        mem.readAtomic(bucketAddr(md, bucket), line, cacheLineBytes);
+        return auxStampOf(line);
+    }
+    return auxStampOf(bucketLine(bucket));
 }
 
 void
@@ -173,11 +326,11 @@ CuckooHashTable::find(KeyView key, std::uint32_t sig, std::uint64_t b1,
 {
     for (std::uint64_t bucket : {b1, b2}) {
         const std::uint8_t *line = bucketLine(bucket);
-        for (unsigned mask = sigMatchMask(line, sig); mask;
+        for (unsigned mask = sigScan(line, sig); mask;
              mask &= mask - 1) {
             const unsigned way =
                 static_cast<unsigned>(std::countr_zero(mask));
-            const BucketEntry entry = entryIn(line, way);
+            const BucketEntry entry = entryAt(line, way);
             if (keyMatches(entry.kvRef - 1, key))
                 return Located{bucket, way, entry.kvRef - 1};
         }
@@ -199,11 +352,11 @@ CuckooHashTable::lookupUntraced(KeyView key) const
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
     for (std::uint64_t bucket : {b1, b2}) {
         const std::uint8_t *line = bucketLine(bucket);
-        for (unsigned mask = sigMatchMask(line, sig); mask;
+        for (unsigned mask = sigScan(line, sig); mask;
              mask &= mask - 1) {
             const unsigned way =
                 static_cast<unsigned>(std::countr_zero(mask));
-            const BucketEntry entry = entryIn(line, way);
+            const BucketEntry entry = entryAt(line, way);
             // One view over the whole kv slot serves both the key
             // compare and the value fetch.
             const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
@@ -227,6 +380,105 @@ CuckooHashTable::lookupUntraced(KeyView key) const
 }
 
 std::optional<std::uint64_t>
+CuckooHashTable::lookupFiltered(KeyView key, AccessTrace *trace,
+                                Addr key_addr) const
+{
+    if (trace) {
+        recordRef(trace, mdAddr, cacheLineBytes, false,
+                  AccessPhase::Metadata);
+        recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+        recordRef(trace, key_addr, static_cast<std::uint16_t>(md.keyLen),
+                  false, AccessPhase::KeyFetch);
+    }
+
+    std::uint32_t sig = 0;
+    std::uint64_t h = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig, &h);
+    const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+    const bool low_entropy = md.numBuckets <= 8;
+
+    // Steering: consult the counting block filter (one line) before any
+    // bucket read. No false negatives → a negative answer proves the
+    // key cannot rest in b2, making the single primary probe a complete
+    // lookup for hits AND misses. A (rare) false positive merely probes
+    // the alternate first and falls back — never a wrong answer.
+    const bool steer = emoma_ && !filter_.degraded() && b2 != b1;
+    bool alt_maybe = true;
+    if (steer) {
+        // Get the primary line in flight behind the filter read:
+        // steering picks it whenever the key is not alternate-resident
+        // (the ~95% case), so the hint overlaps the filter query's
+        // latency instead of serializing filter -> bucket.
+        __builtin_prefetch(bucketLine(b1), 0, 3);
+        recordRef(trace, filter_.blockAddr(h), cacheLineBytes, false,
+                  AccessPhase::Filter);
+        alt_maybe = filter_.query(h);
+    }
+
+    std::uint64_t order[2];
+    unsigned norder = 0;
+    if (steer && !alt_maybe) {
+        order[norder++] = b1; // definitive single-bucket probe
+    } else if (steer) {
+        order[norder++] = b2; // alternate first, primary fallback
+        order[norder++] = b1;
+    } else {
+        order[norder++] = b1;
+        if (b2 != b1)
+            order[norder++] = b2;
+    }
+
+    std::optional<std::uint64_t> result;
+    for (unsigned oi = 0; oi < norder && !result; ++oi) {
+        const std::uint64_t bucket = order[oi];
+        if (trace) {
+            recordRef(trace, bucketAddr(md, bucket), cacheLineBytes,
+                      false, AccessPhase::Bucket, /*depends=*/oi == 0);
+            trace->back().lowEntropyBranch = low_entropy;
+        }
+        const std::uint8_t *line = bucketLine(bucket);
+        for (unsigned mask = sigScan(line, sig); mask && !result;
+             mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryAt(line, way);
+            const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+            if (trace) {
+                recordRef(trace, slot_addr,
+                          static_cast<std::uint16_t>(md.kvSlotBytes),
+                          false, AccessPhase::KeyValue,
+                          /*depends=*/true);
+                trace->back().lowEntropyBranch = low_entropy;
+            }
+            const std::uint8_t *slot =
+                mem.rangeView(slot_addr, md.kvSlotBytes);
+            std::uint8_t bounce[8 + 64];
+            if (!slot) [[unlikely]] { // slot straddles a page
+                mem.read(slot_addr, bounce, md.kvSlotBytes);
+                slot = bounce;
+            }
+            if (bytesEqual(key.data(), slot + kvKeyOffset, md.keyLen)) {
+                std::uint64_t value;
+                std::memcpy(&value, slot + kvValueOffset, sizeof(value));
+                result = value;
+            }
+        }
+        // Cuckoo++ early termination: an unsteered primary miss only
+        // proceeds to the alternate when the Bloom of signatures
+        // displaced OUT of this bucket admits the probe signature —
+        // displaced keys always leave their bits behind, so a clear
+        // Bloom makes the one-bucket miss definitive.
+        if (!result && negFilter_ && !steer && oi == 0 && norder == 2 &&
+            !bloomMayContain(line, sig))
+            break;
+    }
+
+    if (trace)
+        recordRef(trace, versionAddr(), 8, false, AccessPhase::Lock);
+    return result;
+}
+
+std::optional<std::uint64_t>
 CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
                                   Addr key_addr) const
 {
@@ -242,7 +494,8 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
     }
 
     std::uint32_t sig = 0;
-    const std::uint64_t b1 = primaryBucket(key, sig);
+    std::uint64_t h = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig, &h);
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
     const bool low_entropy = md.numBuckets <= 8;
     // Rewind point: a retry re-records the probe refs so the winning
@@ -250,6 +503,12 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
     const std::size_t base = trace ? trace->size() : 0;
 
     for (;;) {
+        // Both candidate counters are snapshotted up front even when
+        // steering probes only one bucket: any filter-affecting
+        // mutation of this key's pair (displacement, insert, erase)
+        // runs under at least one of the two seqlocks, so validating
+        // both makes the steered single-bucket read safe against a
+        // concurrently moving key.
         const std::uint32_t v1 = seq_.readBegin(b1);
         const std::uint32_t v2 = b2 == b1 ? v1 : seq_.readBegin(b2);
         if ((v1 | v2) & 1u) { // writer mid-mutation: don't bother
@@ -262,19 +521,32 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
         bool stale = false;
         std::uint64_t value = 0;
 
-        const auto probe_bucket = [&](std::uint64_t bucket, bool first) {
+        const bool steer = emoma_ && !filter_.degraded() && b2 != b1;
+        bool alt_maybe = true;
+        if (steer) {
+            // Overlap the primary line fetch with the filter query
+            // (see lookupFiltered); the hint doesn't touch seqlocks.
+            __builtin_prefetch(bucketLine(b1), 0, 3);
+            recordRef(trace, filter_.blockAddr(h), cacheLineBytes,
+                      false, AccessPhase::Filter);
+            alt_maybe = filter_.queryAtomic(h);
+        }
+
+        const auto probe_bucket = [&](std::uint64_t bucket, bool first,
+                                      std::uint8_t *line_out) {
             if (trace) {
                 recordRef(trace, bucketAddr(md, bucket), cacheLineBytes,
                           false, AccessPhase::Bucket, /*depends=*/first);
                 trace->back().lowEntropyBranch = low_entropy;
             }
-            alignas(8) std::uint8_t line[cacheLineBytes];
+            alignas(8) std::uint8_t line_buf[cacheLineBytes];
+            std::uint8_t *line = line_out ? line_out : line_buf;
             mem.readAtomic(bucketAddr(md, bucket), line, cacheLineBytes);
-            for (unsigned mask = scanBucketSigs(line, sig);
+            for (unsigned mask = sigScan(line, sig);
                  mask && !hit && !stale; mask &= mask - 1) {
                 const unsigned way =
                     static_cast<unsigned>(std::countr_zero(mask));
-                const BucketEntry entry = entryIn(line, way);
+                const BucketEntry entry = entryAt(line, way);
                 // Entries are single-word atomic so they cannot tear,
                 // but stay defensive about indices read mid-mutation:
                 // validation below rejects the attempt anyway.
@@ -301,9 +573,22 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
             }
         };
 
-        probe_bucket(b1, true);
-        if (!hit && !stale && b2 != b1)
-            probe_bucket(b2, false);
+        if (steer && !alt_maybe) {
+            // Filter-negative: the primary probe is a complete lookup.
+            probe_bucket(b1, true, nullptr);
+        } else if (steer) {
+            probe_bucket(b2, true, nullptr);
+            if (!hit && !stale)
+                probe_bucket(b1, false, nullptr);
+        } else {
+            // Keep the primary line snapshot around: the Cuckoo++
+            // Bloom that gates the alternate probe lives in it.
+            alignas(8) std::uint8_t line1[cacheLineBytes];
+            probe_bucket(b1, true, line1);
+            if (!hit && !stale && b2 != b1 &&
+                (!negFilter_ || bloomMayContain(line1, sig)))
+                probe_bucket(b2, false, nullptr);
+        }
 
         // Order the data loads above before the counter re-check.
         std::atomic_thread_fence(std::memory_order_acquire);
@@ -354,6 +639,26 @@ CuckooHashTable::lookupUntracedBulk(const std::uint8_t *const *keys,
             }
         }
         return found;
+    }
+
+    if (filterMode_ != CuckooFilter::None) [[unlikely]] {
+        if (traces) {
+            // Filtered probe order is data-dependent (the steering
+            // read precedes and decides the bucket reads), so the
+            // scalar traced lookup IS the reference stream; replay it
+            // lane by lane to keep traced bulk byte-identical to
+            // scalar by construction.
+            std::uint32_t found = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (const auto v = lookup(KeyView(keys[i], md.keyLen),
+                                          traces[i], invalidAddr)) {
+                    values[i] = *v;
+                    found |= 1u << i;
+                }
+            }
+            return found;
+        }
+        return lookupFilteredBulk(keys, n, values);
     }
 
     struct Lane
@@ -588,12 +893,203 @@ CuckooHashTable::lookupUntracedBulk(const std::uint8_t *const *keys,
     return found;
 }
 
+std::uint32_t
+CuckooHashTable::lookupFilteredBulk(const std::uint8_t *const *keys,
+                                    std::size_t n,
+                                    std::uint64_t *values) const
+{
+    struct Lane
+    {
+        std::uint64_t h;
+        std::uint64_t b1, b2;
+        std::uint64_t first;  ///< steered first (often only) probe
+        std::uint64_t second; ///< fallback bucket when secondOk
+        const std::uint8_t *lineFirst;
+        const std::uint8_t *cand0;
+        std::uint32_t sig;
+        unsigned maskFirst;
+        std::uint8_t secondOk;  ///< a fallback probe is permitted
+        std::uint8_t bloomGate; ///< fallback still gated on the Bloom
+    };
+    Lane lanes[maxBulkLanes];
+    // When the per-bucket Bloom is available (mode Both) the pipeline
+    // prefers it over EMOMA steering: it gates the fallback probe just
+    // as well but rides the bucket line the lane reads anyway, so no
+    // separate filter line enters the stream. The counting filter still
+    // steers the scalar and concurrent paths, where the probe order
+    // (not just the line count) matters.
+    const bool steerable = emoma_ && !negFilter_ && !filter_.degraded();
+
+    // --- Stage 0a: hash every key; get the filter blocks AND the
+    //     primary bucket lines in flight (steering picks the primary
+    //     for every non-alternate-resident key, so the primary hint is
+    //     the right single line for the vast majority of lanes — the
+    //     rare steer-positive lane adds its alternate in stage 0b). ---
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        ln.b1 = primaryBucket(KeyView(keys[i], md.keyLen), ln.sig,
+                              &ln.h);
+        ln.b2 = alternativeBucket(ln.b1, ln.sig, md.bucketMask);
+        __builtin_prefetch(bucketLine(ln.b1), 0, 3);
+        if (steerable && ln.b2 != ln.b1)
+            __builtin_prefetch(
+                mem.lineView(filter_.blockAddr(ln.h)).data(), 0, 3);
+    }
+
+    // --- Stage 0b: steer, then prefetch exactly ONE bucket line per
+    //     lane — half the unfiltered pipeline's prefetch traffic. ---
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        const bool steer = steerable && ln.b2 != ln.b1;
+        ln.bloomGate = 0;
+        if (steer && !filter_.query(ln.h)) {
+            ln.first = ln.b1; // definitive single-bucket lookup
+            ln.secondOk = 0;
+        } else if (steer) {
+            ln.first = ln.b2; // alternate first, primary fallback
+            ln.second = ln.b1;
+            ln.secondOk = 1;
+        } else {
+            ln.first = ln.b1;
+            ln.second = ln.b2;
+            ln.secondOk = ln.b2 != ln.b1;
+            ln.bloomGate = static_cast<std::uint8_t>(negFilter_);
+        }
+        ln.lineFirst = bucketLine(ln.first);
+        __builtin_prefetch(ln.lineFirst, 0, 3);
+    }
+
+    // --- Stage 1: scan the first lines, prefetch candidate kv slots
+    //     (same footprint gate as the unfiltered pipeline). ---
+    const std::uint64_t kv_bytes = md.kvSlots * md.kvSlotBytes;
+    const bool kv_prefetch = kv_bytes > (4ull << 20);
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        ln.maskFirst = sigScan(ln.lineFirst, ln.sig);
+        ln.cand0 = nullptr;
+        if (!kv_prefetch)
+            continue;
+        for (unsigned mask = ln.maskFirst; mask; mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryIn(ln.lineFirst, way);
+            const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+            const std::uint8_t *p =
+                mem.rangeView(slot_addr, md.kvSlotBytes);
+            if (!p)
+                continue; // page-straddling slot: compare bounces it
+            __builtin_prefetch(p, 0, 3);
+            const auto a = reinterpret_cast<std::uintptr_t>(p);
+            if ((a ^ (a + md.kvSlotBytes - 1)) >> 6)
+                __builtin_prefetch(p + md.kvSlotBytes - 1, 0, 3);
+            if (mask == ln.maskFirst)
+                ln.cand0 = p;
+        }
+    }
+
+    std::uint32_t found = 0;
+    auto probe = [&](std::size_t i, const std::uint8_t *line,
+                     unsigned way, const std::uint8_t *known,
+                     std::uint64_t &value) {
+        const BucketEntry entry = entryIn(line, way);
+        const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+        const std::uint8_t *slot =
+            known ? known : mem.rangeView(slot_addr, md.kvSlotBytes);
+        std::uint8_t bounce[8 + 64];
+        if (!slot) [[unlikely]] { // slot straddles a page
+            mem.read(slot_addr, bounce, md.kvSlotBytes);
+            slot = bounce;
+        }
+        if (!bytesEqual(keys[i], slot + kvKeyOffset, md.keyLen))
+            return false;
+        std::memcpy(&value, slot + kvValueOffset, sizeof(value));
+        return true;
+    };
+
+    // --- Stage 2a: first-bucket compares. A missing lane proceeds
+    //     only when steering permits a fallback AND (for unsteered
+    //     negative-filter lanes) the primary's displaced-out Bloom
+    //     admits the signature; survivors' second lines start
+    //     prefetching here, the first time anything touches them. ---
+    std::uint8_t pending[maxBulkLanes];
+    const std::uint8_t *line2[maxBulkLanes];
+    unsigned mask2[maxBulkLanes];
+    std::size_t npending = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane &ln = lanes[i];
+        bool hit = false;
+        std::uint64_t value = 0;
+        for (unsigned mask = ln.maskFirst; mask && !hit;
+             mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            hit = probe(i, ln.lineFirst, way,
+                        mask == ln.maskFirst ? ln.cand0 : nullptr,
+                        value);
+        }
+        if (hit) {
+            values[i] = value;
+            found |= 1u << i;
+            continue;
+        }
+        if (!ln.secondOk ||
+            (ln.bloomGate && !bloomMayContain(ln.lineFirst, ln.sig)))
+            continue; // the single-bucket miss is definitive
+        const std::uint8_t *line = bucketLine(ln.second);
+        __builtin_prefetch(line, 0, 3);
+        line2[npending] = line;
+        pending[npending++] = static_cast<std::uint8_t>(i);
+    }
+
+    // --- Stage 2b: scan the (now in-flight) second lines together,
+    //     prefetching their kv candidates. ---
+    for (std::size_t p = 0; p < npending; ++p) {
+        Lane &ln = lanes[pending[p]];
+        mask2[p] = sigScan(line2[p], ln.sig);
+        for (unsigned mask = mask2[p]; mask; mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            const BucketEntry entry = entryIn(line2[p], way);
+            const std::uint8_t *ptr = mem.rangeView(
+                kvSlotAddr(md, entry.kvRef - 1), md.kvSlotBytes);
+            if (ptr)
+                __builtin_prefetch(ptr, 0, 3);
+        }
+    }
+
+    // --- Stage 2c: fallback-bucket compares over the warm slots. ---
+    for (std::size_t p = 0; p < npending; ++p) {
+        const std::size_t i = pending[p];
+        bool hit = false;
+        std::uint64_t value = 0;
+        for (unsigned mask = mask2[p]; mask && !hit; mask &= mask - 1) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(mask));
+            hit = probe(i, line2[p], way, nullptr, value);
+        }
+        if (hit) {
+            values[i] = value;
+            found |= 1u << i;
+        }
+    }
+    return found;
+}
+
 void
 CuckooHashTable::prefetchBuckets(const std::uint8_t *key) const
 {
     std::uint32_t sig = 0;
-    const std::uint64_t b1 = primaryBucket(KeyView(key, md.keyLen), sig);
+    std::uint64_t h = 0;
+    const std::uint64_t b1 =
+        primaryBucket(KeyView(key, md.keyLen), sig, &h);
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
+    if (emoma_ && !filter_.degraded() && b2 != b1) {
+        // Steered warm-up: exactly the one line the probe will read.
+        const bool alt_maybe =
+            concurrent_ ? filter_.queryAtomic(h) : filter_.query(h);
+        __builtin_prefetch(bucketLine(alt_maybe ? b2 : b1), 0, 3);
+        return;
+    }
     __builtin_prefetch(bucketLine(b1), 0, 3);
     if (b2 != b1)
         __builtin_prefetch(bucketLine(b2), 0, 3);
@@ -607,6 +1103,8 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
 
     if (concurrent_) [[unlikely]]
         return lookupConcurrent(key, trace, key_addr);
+    if (filterMode_ != CuckooFilter::None) [[unlikely]]
+        return lookupFiltered(key, trace, key_addr);
     if (!trace)
         return lookupUntraced(key);
 
@@ -635,7 +1133,7 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
         trace->back().lowEntropyBranch = low_entropy;
     std::optional<Located> loc;
     const std::uint8_t *line = bucketLine(b1);
-    for (unsigned mask = sigMatchMask(line, sig); mask && !loc;
+    for (unsigned mask = sigScan(line, sig); mask && !loc;
          mask &= mask - 1) {
         const unsigned way =
             static_cast<unsigned>(std::countr_zero(mask));
@@ -654,7 +1152,7 @@ CuckooHashTable::lookup(KeyView key, AccessTrace *trace,
         if (trace)
             trace->back().lowEntropyBranch = low_entropy;
         line = bucketLine(b2);
-        for (unsigned mask = sigMatchMask(line, sig); mask && !loc;
+        for (unsigned mask = sigScan(line, sig); mask && !loc;
              mask &= mask - 1) {
             const unsigned way =
                 static_cast<unsigned>(std::countr_zero(mask));
@@ -774,10 +1272,53 @@ CuckooHashTable::makeRoom(std::uint64_t start_bucket, AccessTrace *trace)
     while (idx >= 0) {
         const Node node = nodes[idx];
         const BucketEntry entry = readEntry(node.bucket, node.way);
-        writeEntry(free_bucket, free_way, entry);
+        if (filterMode_ != CuckooFilter::None) [[unlikely]] {
+            // The filters track residence relative to each key's
+            // PRIMARY bucket, which only the key's full hash reveals:
+            // fetch the moved key back out of its kv slot.
+            const Addr slot_addr = kvSlotAddr(md, entry.kvRef - 1);
+            std::uint8_t keybuf[64];
+            mem.read(slot_addr + kvKeyOffset, keybuf, md.keyLen);
+            recordRef(trace, slot_addr,
+                      static_cast<std::uint16_t>(md.kvSlotBytes), false,
+                      AccessPhase::KeyValue);
+            const std::uint64_t h =
+                hashBytes(static_cast<HashKind>(md.hashKind), md.seed,
+                          KeyView(keybuf, md.keyLen));
+            const std::uint64_t primary = h & md.bucketMask;
+            HALO_ASSERT(node.bucket == primary ||
+                            free_bucket == primary,
+                        "cuckoo move outside the key's bucket pair");
+
+            // Both the vacated and the filled bucket mutate inside one
+            // write section, so an optimistic reader holding either
+            // counter of the pair observes the move atomically.
+            txBegin(free_bucket, node.bucket);
+            writeEntryRaw(free_bucket, free_way, entry);
+            writeEntryRaw(node.bucket, node.way, BucketEntry{});
+            if (free_bucket != primary) {
+                // Displaced OUT of its primary: the steering filter
+                // gains the key, the primary's Bloom keeps the crumb.
+                if (emoma_) {
+                    filter_.add(h, concurrent_);
+                    recordRef(trace, filter_.blockAddr(h), 8, true,
+                              AccessPhase::Filter);
+                }
+                bloomAdd(primary, entry.sig, trace);
+            } else if (emoma_) {
+                // Moved back home: un-count the alternate residence.
+                filter_.remove(h, concurrent_);
+                recordRef(trace, filter_.blockAddr(h), 8, true,
+                          AccessPhase::Filter);
+            }
+            stampBucket(free_bucket, trace);
+            txEnd(free_bucket, node.bucket);
+        } else {
+            writeEntry(free_bucket, free_way, entry);
+            writeEntry(node.bucket, node.way, BucketEntry{});
+        }
         recordRef(trace, bucketEntryAddr(md, free_bucket, free_way),
                   bucketEntryBytes, true, AccessPhase::Bucket);
-        writeEntry(node.bucket, node.way, BucketEntry{});
         recordRef(trace, bucketEntryAddr(md, node.bucket, node.way),
                   bucketEntryBytes, true, AccessPhase::Bucket);
         ++displaceCount;
@@ -785,6 +1326,7 @@ CuckooHashTable::makeRoom(std::uint64_t start_bucket, AccessTrace *trace)
         free_way = node.way;
         idx = node.parent;
     }
+    movesPub_.set(displaceCount);
     HALO_ASSERT(free_bucket == start_bucket,
                 "displacement path must end at the requested bucket");
     return true;
@@ -797,7 +1339,8 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
     HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
 
     std::uint32_t sig = 0;
-    const std::uint64_t b1 = primaryBucket(key, sig);
+    std::uint64_t h = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig, &h);
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
 
     recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
@@ -817,9 +1360,11 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
             mem.storeWordAtomic(kvSlotAddr(md, loc->slot) +
                                     kvValueOffset,
                                 value);
+            stampBucket(loc->bucket, trace);
             seq_.writeEnd(loc->bucket);
         } else {
             mem.store(kvSlotAddr(md, loc->slot) + kvValueOffset, value);
+            stampBucket(loc->bucket, trace);
         }
         recordRef(trace, kvSlotAddr(md, loc->slot), 8, true,
                   AccessPhase::KeyValue, true);
@@ -884,14 +1429,37 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
     recordRef(trace, slot_addr, static_cast<std::uint16_t>(md.kvSlotBytes),
               true, AccessPhase::KeyValue);
 
-    writeEntry(target_bucket, static_cast<unsigned>(target_way),
-               BucketEntry{sig, slot + 1});
+    if (filterMode_ != CuckooFilter::None) [[unlikely]] {
+        // Publish the entry and its filter bookkeeping in one write
+        // section over the bucket pair: a reader that steered past the
+        // alternate (or Bloom-skipped it) while this key was landing
+        // there fails its counter validation and retries.
+        const auto tw = static_cast<unsigned>(target_way);
+        txBegin(target_bucket, b1);
+        writeEntryRaw(target_bucket, tw, BucketEntry{sig, slot + 1});
+        if (target_bucket != b1) {
+            // Landing in the alternate straight away still counts as
+            // displaced-out of the primary for both filters.
+            if (emoma_) {
+                filter_.add(h, concurrent_);
+                recordRef(trace, filter_.blockAddr(h), 8, true,
+                          AccessPhase::Filter);
+            }
+            bloomAdd(b1, sig, trace);
+        }
+        stampBucket(target_bucket, trace);
+        txEnd(target_bucket, b1);
+    } else {
+        writeEntry(target_bucket, static_cast<unsigned>(target_way),
+                   BucketEntry{sig, slot + 1});
+    }
     recordRef(trace,
               bucketEntryAddr(md, target_bucket,
                               static_cast<unsigned>(target_way)),
               bucketEntryBytes, true, AccessPhase::Bucket);
     bumpVersion(trace);
     ++numItems;
+    itemsPub_.set(numItems);
     return true;
 }
 
@@ -901,7 +1469,8 @@ CuckooHashTable::erase(KeyView key, AccessTrace *trace)
     HALO_ASSERT(key.size() == md.keyLen, "key length mismatch");
 
     std::uint32_t sig = 0;
-    const std::uint64_t b1 = primaryBucket(key, sig);
+    std::uint64_t h = 0;
+    const std::uint64_t b1 = primaryBucket(key, sig, &h);
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
 
     recordRef(trace, mdAddr, cacheLineBytes, false, AccessPhase::Metadata);
@@ -916,12 +1485,28 @@ CuckooHashTable::erase(KeyView key, AccessTrace *trace)
                   AccessPhase::Bucket);
 
     bumpVersion(trace);
-    writeEntry(loc->bucket, loc->way, BucketEntry{});
+    if (filterMode_ != CuckooFilter::None) [[unlikely]] {
+        // loc->bucket is one of the key's pair, so readers validating
+        // both counters observe entry clear + filter decrement as one
+        // step. The primary's Bloom bits stay behind: stale crumbs cost
+        // at most an extra probe, never an answer.
+        txBegin(loc->bucket, loc->bucket);
+        writeEntryRaw(loc->bucket, loc->way, BucketEntry{});
+        if (emoma_ && loc->bucket != b1) {
+            filter_.remove(h, concurrent_);
+            recordRef(trace, filter_.blockAddr(h), 8, true,
+                      AccessPhase::Filter);
+        }
+        txEnd(loc->bucket, loc->bucket);
+    } else {
+        writeEntry(loc->bucket, loc->way, BucketEntry{});
+    }
     recordRef(trace, bucketEntryAddr(md, loc->bucket, loc->way),
               bucketEntryBytes, true, AccessPhase::Bucket);
     freeSlot(loc->slot);
     bumpVersion(trace);
     --numItems;
+    itemsPub_.set(numItems);
     return true;
 }
 
@@ -929,7 +1514,7 @@ std::uint64_t
 CuckooHashTable::footprintBytes() const
 {
     return 2 * cacheLineBytes + md.numBuckets * cacheLineBytes +
-           md.kvSlots * md.kvSlotBytes;
+           md.kvSlots * md.kvSlotBytes + filter_.footprintBytes();
 }
 
 void
@@ -942,6 +1527,9 @@ CuckooHashTable::forEachLine(const std::function<void(Addr)> &fn) const
     const std::uint64_t kv_bytes = md.kvSlots * md.kvSlotBytes;
     for (std::uint64_t off = 0; off < kv_bytes; off += cacheLineBytes)
         fn(md.kvArrayAddr + off);
+    if (filter_.enabled())
+        for (std::uint64_t blk = 0; blk < filter_.numBlocks(); ++blk)
+            fn(filter_.baseAddr() + blk * cacheLineBytes);
 }
 
 } // namespace halo

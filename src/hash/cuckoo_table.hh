@@ -24,17 +24,89 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "hash/access.hh"
+#include "hash/block_filter.hh"
 #include "hash/seqlock.hh"
 #include "hash/table_layout.hh"
 #include "mem/sim_memory.hh"
+#include "sim/stats.hh"
 
 namespace halo {
 
 /** Key bytes as viewed by table operations. */
 using KeyView = std::span<const std::uint8_t>;
+
+/**
+ * Lookup-filter modes (DESIGN.md §13, "Miss-optimized exact match").
+ *
+ * Emoma:    an EMOMA-style counting block filter (block_filter.hh)
+ *           steers every lookup to exactly one of the two candidate
+ *           buckets — filter-negative probes the primary alone (a
+ *           counting filter has no false negatives, so that single
+ *           read is a complete lookup), filter-positive probes the
+ *           alternate first with the primary as fallback.
+ * CuckooPP: Cuckoo++-style per-bucket negative filter — signatures
+ *           shrink to 24 bits and the freed byte per entry packs a
+ *           32-bit Bloom of displaced-out signatures plus a 32-bit
+ *           aging timestamp into the bucket line (table_layout.hh), so
+ *           a miss whose primary Bloom probe is negative terminates
+ *           after one bucket read.
+ * Both:     the two composed (steering for hits, Bloom for the misses
+ *           the steering path still sends through two buckets when the
+ *           block filter false-positives).
+ */
+enum class CuckooFilter : std::uint8_t
+{
+    None = 0,
+    Emoma,
+    CuckooPP,
+    Both,
+};
+
+/** True when @p f steers probes through the counting block filter. */
+constexpr bool
+cuckooFilterSteers(CuckooFilter f)
+{
+    return f == CuckooFilter::Emoma || f == CuckooFilter::Both;
+}
+
+/** True when @p f packs the per-bucket negative filter + timestamp. */
+constexpr bool
+cuckooFilterNegative(CuckooFilter f)
+{
+    return f == CuckooFilter::CuckooPP || f == CuckooFilter::Both;
+}
+
+/** Stable lowercase name, for bench JSON and CLI flags. */
+constexpr const char *
+cuckooFilterName(CuckooFilter f)
+{
+    switch (f) {
+      case CuckooFilter::Emoma: return "emoma";
+      case CuckooFilter::CuckooPP: return "cuckoopp";
+      case CuckooFilter::Both: return "both";
+      case CuckooFilter::None: break;
+    }
+    return "none";
+}
+
+/** Parse a mode name as printed by cuckooFilterName(). */
+inline std::optional<CuckooFilter>
+parseCuckooFilter(std::string_view name)
+{
+    if (name == "none")
+        return CuckooFilter::None;
+    if (name == "emoma")
+        return CuckooFilter::Emoma;
+    if (name == "cuckoopp")
+        return CuckooFilter::CuckooPP;
+    if (name == "both")
+        return CuckooFilter::Both;
+    return std::nullopt;
+}
 
 /**
  * Cuckoo hash table (paper SS2.2). Thread-unsafe by default: concurrency
@@ -61,6 +133,14 @@ class CuckooHashTable
         std::uint64_t seed = 0x5151bead;
         /// Target max load factor used to size the bucket array.
         double maxLoadFactor = 0.95;
+        /// Lookup-filter mode. Building with -DHALO_CUCKOO_EMOMA flips
+        /// the default to Emoma so a whole build can be steered without
+        /// touching callers; an explicit Config wins either way.
+#ifdef HALO_CUCKOO_EMOMA
+        CuckooFilter filter = CuckooFilter::Emoma;
+#else
+        CuckooFilter filter = CuckooFilter::None;
+#endif
     };
 
     /** Build an empty table inside @p memory. */
@@ -75,10 +155,19 @@ class CuckooHashTable
           numItems(other.numItems),
           displaceCount(other.displaceCount),
           freeSlots(std::move(other.freeSlots)),
+          filterMode_(other.filterMode_),
+          emoma_(other.emoma_),
+          negFilter_(other.negFilter_),
+          filter_(other.filter_),
+          epoch_(other.epoch_),
           concurrent_(other.concurrent_),
           seq_(std::move(other.seq_)),
           seqRetries_(other.seqRetries_.load(std::memory_order_relaxed))
     {
+        // Published mirrors are non-movable atomics: re-publish from
+        // the plain writer-owned sources (setup-time only, see above).
+        itemsPub_.set(numItems);
+        movesPub_.set(displaceCount);
     }
 
     /** @name Functional operations */
@@ -138,17 +227,20 @@ class CuckooHashTable
     void prefetchBuckets(const std::uint8_t *key) const;
     /**@}*/
 
-    /** Items currently stored. */
-    std::uint64_t size() const { return numItems; }
+    /** Items currently stored. Safe from any thread in concurrent mode
+     *  (published mirror of the writer-owned count). */
+    std::uint64_t size() const { return itemsPub_.value(); }
 
     /** Maximum entries the kv array can hold. */
     std::uint64_t capacity() const { return md.kvSlots; }
 
-    /** Fraction of bucket-entry slots in use. */
+    /** Fraction of bucket-entry slots in use. Like size(), reads the
+     *  published mirror, so concurrent-mode readers see a consistent
+     *  (eventually-exact) value instead of racing the writer. */
     double
     loadFactor() const
     {
-        return static_cast<double>(numItems) /
+        return static_cast<double>(itemsPub_.value()) /
                static_cast<double>(md.numBuckets * entriesPerBucket);
     }
 
@@ -171,8 +263,41 @@ class CuckooHashTable
     /** Metadata snapshot (host copy, kept in sync with SimMemory). */
     const TableMetadata &metadata() const { return md; }
 
-    /** Number of displacement moves performed by inserts so far. */
-    std::uint64_t cuckooMoves() const { return displaceCount; }
+    /** Number of displacement moves performed by inserts so far (any
+     *  thread; published mirror). */
+    std::uint64_t cuckooMoves() const { return movesPub_.value(); }
+
+    /** @name Lookup filters (EMOMA steering, Cuckoo++ negative filter)
+     *
+     * Configured at construction via Config::filter; see CuckooFilter.
+     */
+    /**@{*/
+    CuckooFilter filterMode() const { return filterMode_; }
+
+    /** True when a saturated counter forced steering off (lookups fall
+     *  back to the unfiltered two-bucket probe; correctness intact). */
+    bool filterDegraded() const { return emoma_ && filter_.degraded(); }
+
+    /** Simulated bytes of the counting block filter (0 when off). */
+    std::uint64_t filterFootprintBytes() const
+    {
+        return filter_.footprintBytes();
+    }
+
+    /**
+     * Writer-side: set the epoch stamped into bucket aux timestamps on
+     * subsequent inserts/updates. No-op outside the negative-filter
+     * modes. The revalidator's aging sweep advances this each epoch so
+     * bucket timestamps track flow recency for free.
+     */
+    void setTimestampEpoch(std::uint32_t epoch) { epoch_ = epoch; }
+    std::uint32_t timestampEpoch() const { return epoch_; }
+
+    /** Last epoch stamped into @p bucket (negative-filter modes only);
+     *  rides the bucket line, so the aging sweep reads it without any
+     *  extra memory reference. */
+    std::uint32_t bucketTimestamp(std::uint64_t bucket) const;
+    /**@}*/
 
     /** @name Concurrent host-path mode (single writer, seqlocked readers)
      *
@@ -209,23 +334,76 @@ class CuckooHashTable
         std::uint32_t slot; ///< kv slot index
     };
 
-    std::uint64_t primaryBucket(KeyView key, std::uint32_t &sig) const;
+    /** Hash @p key: primary bucket index, signature (24-bit in the
+     *  negative-filter layout), and optionally the full 64-bit hash
+     *  (the block filter keys off it). */
+    std::uint64_t primaryBucket(KeyView key, std::uint32_t &sig,
+                                std::uint64_t *hash_out = nullptr) const;
     /** Zero-copy host view of a bucket's cache line. */
     const std::uint8_t *bucketLine(std::uint64_t bucket) const;
     /** Decode entry @p way out of a bucket-line view. */
     static BucketEntry entryIn(const std::uint8_t *line, unsigned way);
+    /** entryIn with the aux byte stripped from the signature in the
+     *  negative-filter layout (identity otherwise). */
+    BucketEntry entryAt(const std::uint8_t *line, unsigned way) const;
     /** Bit @p way set when that entry is occupied with signature
-     *  @p sig; computed branchlessly over the whole bucket line. */
-    static unsigned sigMatchMask(const std::uint8_t *line,
-                                 std::uint32_t sig);
+     *  @p sig; computed branchlessly over the whole bucket line
+     *  (masked compare in the negative-filter layout). */
+    unsigned sigScan(const std::uint8_t *line, std::uint32_t sig) const;
     BucketEntry readEntry(std::uint64_t bucket, unsigned way) const;
     void writeEntry(std::uint64_t bucket, unsigned way,
                     const BucketEntry &entry);
+    /** Entry store without seqlock bookkeeping (callers in concurrent
+     *  mode hold the bucket's seqlock); preserves the aux byte in the
+     *  negative-filter layout. */
+    void writeEntryRaw(std::uint64_t bucket, unsigned way,
+                       const BucketEntry &entry);
+    /** Store one aux byte (word-atomic RMW in concurrent mode; the
+     *  caller holds the bucket's seqlock). */
+    void auxByteStore(std::uint64_t bucket, unsigned aux_index,
+                      std::uint8_t v);
+    /** Stamp @p bucket's aux timestamp with the current epoch
+     *  (negative-filter modes; no-op otherwise). */
+    void stampBucket(std::uint64_t bucket, AccessTrace *trace);
+    /** Set @p sig's Bloom bits in @p bucket's aux filter (the key was
+     *  displaced out of this, its primary, bucket). */
+    void bloomAdd(std::uint64_t bucket, std::uint32_t sig,
+                  AccessTrace *trace);
+    /** True when @p line's negative Bloom admits @p sig. */
+    static bool bloomMayContain(const std::uint8_t *line,
+                                std::uint32_t sig);
+    /** writeBegin/writeEnd one or two buckets' seqlocks around a
+     *  filtered multi-store mutation (no-ops when not concurrent). */
+    void txBegin(std::uint64_t a, std::uint64_t b);
+    void txEnd(std::uint64_t a, std::uint64_t b);
     bool keyMatches(std::uint32_t slot, KeyView key) const;
     std::optional<Located> find(KeyView key, std::uint32_t sig,
                                 std::uint64_t b1, std::uint64_t b2) const;
     /** Recording-free lookup used when no trace is requested. */
     std::optional<std::uint64_t> lookupUntraced(KeyView key) const;
+
+    /**
+     * Steered/filtered scalar lookup (any filter mode, non-concurrent;
+     * handles both traced and untraced callers). Probe order: block
+     * filter negative → primary only (complete — counting filters have
+     * no false negatives); positive → alternate then primary; without
+     * steering, primary first with the per-bucket negative Bloom gating
+     * the alternate probe.
+     */
+    std::optional<std::uint64_t> lookupFiltered(KeyView key,
+                                                AccessTrace *trace,
+                                                Addr key_addr) const;
+
+    /**
+     * Untraced steered bulk pipeline (filter modes, non-concurrent):
+     * stage 0 hashes, consults the block filter, and prefetches exactly
+     * ONE bucket line per lane (half the unfiltered pipeline's prefetch
+     * traffic); later stages touch a second line only for lanes whose
+     * steering or negative Bloom allows a fallback probe.
+     */
+    std::uint32_t lookupFilteredBulk(const std::uint8_t *const *keys,
+                                     std::size_t n,
+                                     std::uint64_t *values) const;
 
     /**
      * Optimistic concurrent lookup (concurrent_ mode): snapshot both
@@ -253,6 +431,22 @@ class CuckooHashTable
     std::uint64_t numItems = 0;
     std::uint64_t displaceCount = 0;
     std::vector<std::uint32_t> freeSlots; ///< host-side free list
+
+    /// Lookup filters (Config::filter). emoma_/negFilter_ cache the
+    /// mode predicates for the hot paths; epoch_ is the writer-owned
+    /// timestamp epoch stamped into bucket aux bytes.
+    CuckooFilter filterMode_ = CuckooFilter::None;
+    bool emoma_ = false;
+    bool negFilter_ = false;
+    CountingBlockFilter filter_;
+    std::uint32_t epoch_ = 0;
+
+    /// Published mirrors of numItems/displaceCount so size(),
+    /// loadFactor() and cuckooMoves() are readable from any thread
+    /// while enableConcurrent() is active (single writer updates both
+    /// the plain source of truth and the mirror).
+    PublishedCounter itemsPub_;
+    PublishedCounter movesPub_;
 
     /// Concurrent host-path mode: per-bucket seqlocks (host-side, not
     /// simulated — layout and traces are unchanged) and a reader retry

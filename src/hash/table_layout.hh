@@ -105,6 +105,72 @@ inline constexpr std::uint32_t kvValueOffset = 0;
 /** Offset of the key within a kv slot. */
 inline constexpr std::uint32_t kvKeyOffset = 8;
 
+/**
+ * @name Negative-filter ("Cuckoo++") bucket layout.
+ *
+ * When a table runs with the per-bucket negative filter, signatures
+ * shrink from 32 to 24 bits and the freed top byte of each of the 8
+ * entries becomes an 8-byte aux region packed into the same cache
+ * line — no extra memory reference on any path:
+ *
+ *   entry bytes  0..2   signature (24 bits, 0 reserved for empty)
+ *   entry byte   3      aux byte (see below)
+ *   entry bytes  4..7   kv reference (unchanged)
+ *
+ *   aux bytes of ways 0..3  — 32-bit Bloom of signatures displaced OUT
+ *                             of this (their primary) bucket, so a miss
+ *                             whose primary scan fails and whose Bloom
+ *                             probe is negative terminates after ONE
+ *                             bucket read;
+ *   aux bytes of ways 4..7  — 32-bit timestamp epoch, stamped on
+ *                             insert/update, readable by the aging
+ *                             sweep for free (same line as the probe).
+ */
+/**@{*/
+/** Low 24 bits of an entry's sig field hold the filtered-mode
+ *  signature; the top byte is aux. */
+inline constexpr std::uint32_t sig24Mask = 0x00ffffffu;
+
+/** Byte offset of the aux byte within each 8-byte entry. */
+inline constexpr unsigned auxByteInEntry = 3;
+
+/** Aux byte index (0..7) → byte offset within the bucket line. */
+constexpr unsigned
+auxByteOffset(unsigned aux_index)
+{
+    return aux_index * bucketEntryBytes + auxByteInEntry;
+}
+
+/** Decode the 32-bit negative-filter Bloom out of a bucket-line view. */
+constexpr std::uint32_t
+auxBloomOf(const std::uint8_t *line)
+{
+    return static_cast<std::uint32_t>(line[auxByteOffset(0)]) |
+           static_cast<std::uint32_t>(line[auxByteOffset(1)]) << 8 |
+           static_cast<std::uint32_t>(line[auxByteOffset(2)]) << 16 |
+           static_cast<std::uint32_t>(line[auxByteOffset(3)]) << 24;
+}
+
+/** Decode the 32-bit timestamp epoch out of a bucket-line view. */
+constexpr std::uint32_t
+auxStampOf(const std::uint8_t *line)
+{
+    return static_cast<std::uint32_t>(line[auxByteOffset(4)]) |
+           static_cast<std::uint32_t>(line[auxByteOffset(5)]) << 8 |
+           static_cast<std::uint32_t>(line[auxByteOffset(6)]) << 16 |
+           static_cast<std::uint32_t>(line[auxByteOffset(7)]) << 24;
+}
+
+/** Two Bloom bit positions (0..31) derived from a 24-bit signature. */
+constexpr std::uint32_t
+bloomBitsForSig(std::uint32_t sig24)
+{
+    const std::uint32_t b0 = (sig24 * 0x9e3779b1u) >> 27;
+    const std::uint32_t b1 = (sig24 * 0x85ebca6bu) >> 27;
+    return (1u << b0) | (1u << b1);
+}
+/**@}*/
+
 } // namespace halo
 
 #endif // HALO_HASH_TABLE_LAYOUT_HH

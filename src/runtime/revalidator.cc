@@ -224,8 +224,18 @@ Revalidator::sweep()
 {
     HALO_TRACE_SCOPE("revalidator/sweep");
     sweeps_.add(1);
-    for (const ShardHooks &s : shards_)
+    for (const ShardHooks &s : shards_) {
         s.activity->advanceEpoch();
+        // Cuckoo++ negative-filter tables carry a per-bucket timestamp
+        // in the bucket line's aux bytes; keep their epoch counter in
+        // step with the activity epoch so fast-path inserts stamp the
+        // value this sweep compares against (bucketTimestamp()).
+        CuckooHashTable &exact =
+            s.vswitch->tupleSpace().table(s.exactTuple);
+        if (cuckooFilterNegative(exact.filterMode()))
+            exact.setTimestampEpoch(static_cast<std::uint32_t>(
+                s.activity->epoch()));
+    }
 
     // Swap-pop walk: a flow idle past the timeout is erased from its
     // table and dropped from tracking. `max(stamp, installEpoch)`

@@ -75,6 +75,15 @@ class PublishedCounter
     /** Any thread. */
     std::uint64_t value() const { return v.load(std::memory_order_relaxed); }
 
+    /**
+     * Owner thread only: publish an absolute value. For mirrored
+     * counters whose source of truth is a plain writer-owned variable
+     * (e.g. a table's item count, which both increments and
+     * decrements), set() republishes the current value instead of
+     * accumulating deltas.
+     */
+    void set(std::uint64_t n) { v.store(n, std::memory_order_relaxed); }
+
     /** Owner thread only, and only while no reader expects
      *  monotonicity (e.g. between runs). */
     void reset() { v.store(0, std::memory_order_relaxed); }

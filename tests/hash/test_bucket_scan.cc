@@ -71,6 +71,41 @@ TEST(BucketScan, DispatchAgreesWithScalarOracleExhaustively)
     }
 }
 
+TEST(BucketScan, MaskedDispatchAgreesWithScalarOracle)
+{
+    // The masked scan (24-bit signatures under the Cuckoo++ aux byte,
+    // see table_layout.hh) must ignore the aux byte entirely: entries
+    // whose low 24 bits match count regardless of Bloom/stamp noise in
+    // byte 3, and the dispatch agrees with the scalar reference.
+    Xoshiro256 rng(0x91a5ced);
+    for (int round = 0; round < 2000; ++round) {
+        std::array<BucketEntry, entriesPerBucket> entries{};
+        for (unsigned way = 0; way < entriesPerBucket; ++way) {
+            entries[way].sig = static_cast<std::uint32_t>(rng.next());
+            entries[way].kvRef =
+                (rng.next() % 3) ? static_cast<std::uint32_t>(
+                                       rng.next() % 1000)
+                                 : 0;
+        }
+        // Force a few masked collisions: same low 24 bits, noisy aux.
+        const std::uint32_t probe =
+            static_cast<std::uint32_t>(rng.next()) & sig24Mask;
+        entries[1].sig = probe | 0xa5000000u;
+        entries[4].sig = probe | 0x0f000000u;
+        const auto line = makeLine(entries);
+
+        const unsigned got = scanBucketSigsMasked(line.data(), probe);
+        EXPECT_EQ(got, scanBucketSigsMaskedScalar(line.data(), probe))
+            << "round " << round;
+        unsigned want = 0;
+        for (unsigned way = 0; way < entriesPerBucket; ++way)
+            if (entries[way].kvRef != 0 &&
+                (entries[way].sig & sig24Mask) == probe)
+                want |= 1u << way;
+        EXPECT_EQ(got, want) << "round " << round;
+    }
+}
+
 TEST(BucketScan, ReportsCompiledKind)
 {
     // The build always provides a dispatch; its label must agree with

@@ -109,6 +109,104 @@ TEST(ConcurrentTables, CuckooReadersNeverSeeTornEntries)
         << "stress never exercised displacement";
 }
 
+/**
+ * The filtered concurrent path: with both lookup filters armed (EMOMA
+ * steering counters + Cuckoo++ aux bytes) the writer mutates filter
+ * state inside the same seqlock sections as the bucket entries, and
+ * optimistic readers consult the counters through atomic loads. A
+ * stale steer or Bloom verdict may cost a retry or a transient miss —
+ * never a torn or wrong value. Readers also poll the published
+ * counters (size/loadFactor/cuckooMoves) and run the bulk pipeline,
+ * covering every reader entry point the runtime uses.
+ */
+TEST(ConcurrentTables, FilteredCuckooReadersNeverSeeTornEntries)
+{
+    SimMemory mem(128ull << 20);
+    CuckooHashTable::Config cfg;
+    cfg.capacity = 30000;
+    cfg.filter = CuckooFilter::Both;
+    CuckooHashTable table(mem, cfg);
+    table.enableConcurrent();
+
+    constexpr std::uint64_t keyRange = 30000;
+    constexpr std::uint64_t writerOps = 3 * keyRange;
+    std::atomic<unsigned> readersRunning{0};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> readers;
+    for (unsigned r = 0; r < 3; ++r) {
+        readers.emplace_back([&, r] {
+            readersRunning.fetch_add(1, std::memory_order_release);
+            std::uint64_t id = r * 19;
+            std::uint64_t hits = 0;
+            std::array<std::array<std::uint8_t, 16>, maxBulkLanes> keys;
+            std::array<const std::uint8_t *, maxBulkLanes> ptrs;
+            std::uint64_t values[maxBulkLanes];
+            while (!done.load(std::memory_order_acquire)) {
+                id = (id + 37) % keyRange;
+                const auto key = keyForId(id);
+                const auto v =
+                    table.lookup(KeyView(key.data(), key.size()));
+                if (v) {
+                    ASSERT_EQ(*v, valueForId(id))
+                        << "torn read of key " << id;
+                    ++hits;
+                }
+                if ((id & 63) == 0) {
+                    // Bulk pipeline against the same churn.
+                    for (unsigned lane = 0; lane < maxBulkLanes;
+                         ++lane) {
+                        keys[lane] =
+                            keyForId((id + lane * 7) % keyRange);
+                        ptrs[lane] = keys[lane].data();
+                    }
+                    const std::uint32_t mask = table.lookupUntracedBulk(
+                        ptrs.data(), maxBulkLanes, values, nullptr);
+                    for (unsigned lane = 0; lane < maxBulkLanes; ++lane)
+                        if (mask >> lane & 1)
+                            ASSERT_EQ(values[lane],
+                                      valueForId(
+                                          (id + lane * 7) % keyRange))
+                                << "torn bulk read, lane " << lane;
+                }
+                if ((id & 255) == 0) {
+                    // Published mirrors must stay readable and sane
+                    // while the writer churns.
+                    EXPECT_LE(table.size(), keyRange);
+                    EXPECT_LE(table.loadFactor(), 1.0);
+                    (void)table.cuckooMoves();
+                }
+            }
+            EXPECT_GT(hits, 0u);
+        });
+    }
+    while (readersRunning.load(std::memory_order_acquire) < 3)
+        std::this_thread::yield();
+
+    // Single writer: fill to ~91% occupancy (displacement churn keeps
+    // the EMOMA counters and displaced-sig Blooms hot), then cycle
+    // erase/insert with a moving timestamp epoch.
+    for (std::uint64_t op = 0; op < writerOps; ++op) {
+        const std::uint64_t id = op % keyRange;
+        const auto key = keyForId(id);
+        if ((op & 8191) == 0)
+            table.setTimestampEpoch(
+                static_cast<std::uint32_t>(op >> 13));
+        if (op < keyRange || (op & 3) != 0)
+            table.insert(KeyView(key.data(), key.size()),
+                         valueForId(id));
+        else
+            table.erase(KeyView(key.data(), key.size()));
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &t : readers)
+        t.join();
+
+    EXPECT_GT(table.cuckooMoves(), 0u)
+        << "stress never exercised displacement";
+    EXPECT_FALSE(table.filterDegraded());
+}
+
 TEST(ConcurrentTables, EmcReadersNeverSeeTornEntries)
 {
     SimMemory mem(16ull << 20);
