@@ -134,4 +134,61 @@ measureHaloNonBlocking(Machine &m, const CuckooHashTable &table,
            static_cast<double>(lookups);
 }
 
+void
+writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s)
+{
+    j.beginObject();
+    j.key("columns").beginArray();
+    for (const std::string &c : s.columns)
+        j.value(c);
+    j.endArray();
+    j.key("t_nanos").beginArray();
+    for (const std::uint64_t t : s.tNanos)
+        j.value(t);
+    j.endArray();
+    j.key("rows").beginArray();
+    for (const auto &row : s.rows) {
+        j.beginArray();
+        for (const double v : row)
+            j.value(v, 1);
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+void
+writePerfBlock(obs::JsonWriter &j, bool enabled, bool degraded,
+               const std::vector<obs::PerfStageTotals> &stages)
+{
+    j.beginObject();
+    j.kv("compiled_in", obs::perfCompiledIn());
+    j.kv("enabled", enabled);
+    j.kv("degraded", degraded);
+    j.key("stages").beginArray();
+    for (const obs::PerfStageTotals &s : stages) {
+        j.beginObject();
+        j.kv("stage", s.stage);
+        j.kv("entries", s.entries);
+        j.kv("tsc_cycles", s.tscCycles);
+        j.kv("tsc_cycles_per_entry",
+             s.entries ? static_cast<double>(s.tscCycles) /
+                             static_cast<double>(s.entries)
+                       : 0.0,
+             2);
+        j.kv("sampled_entries", s.sampledEntries);
+        for (unsigned e = 0; e < obs::numPerfEvents; ++e) {
+            const double est = s.estimatedEvents(e);
+            j.kv(obs::perfEventName(e), est, 1);
+            j.kv(std::string(obs::perfEventName(e)) + "_per_entry",
+                 s.entries ? est / static_cast<double>(s.entries)
+                           : 0.0,
+                 4);
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
 } // namespace halo::bench

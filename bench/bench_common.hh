@@ -20,6 +20,9 @@
 #include "cpu/core_model.hh"
 #include "cpu/trace_builder.hh"
 #include "hash/cuckoo_table.hh"
+#include "obs/json.hh"
+#include "obs/perf.hh"
+#include "obs/sampler.hh"
 #include "sim/random.hh"
 
 namespace halo::bench {
@@ -115,6 +118,26 @@ measureHaloNonBlocking(Machine &m, const CuckooHashTable &table,
 void
 warmupLookups(Machine &m, const CuckooHashTable &table,
               std::uint64_t populated, std::uint64_t count = 10000);
+
+/** @name Shared telemetry surface for the host benches
+ *  One JSON dialect for the sampler time series and the PMU
+ *  attribution block, so every BENCH_*.json reads the same and
+ *  tools/bench_diff.py can compare any pair. */
+/**@{*/
+
+/** Sampler time series as {columns, t_nanos, rows}. */
+void writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s);
+
+/**
+ * PMU attribution block: {compiled_in, enabled, degraded, stages:[…]}.
+ * Each stage carries raw entry/TSC totals plus multiplex-scaled,
+ * sampling-corrected event estimates and per-entry rates. Emits the
+ * object value only — callers write the key first.
+ */
+void writePerfBlock(obs::JsonWriter &j, bool enabled, bool degraded,
+                    const std::vector<obs::PerfStageTotals> &stages);
+
+/**@}*/
 
 } // namespace halo::bench
 

@@ -31,7 +31,8 @@
  * Usage:
  *   churn_throughput [--out FILE] [--packets N] [--flows N]
  *                    [--workers N] [--smoke] [--prom FILE]
- *                    [--trace FILE] [--sample-us N]
+ *                    [--prom-port N] [--trace FILE] [--sample-us N]
+ *                    [--perf]
  *                    [--cuckoo-filter none|emoma|cuckoopp|both]
  *
  *   --out       JSON output path (default BENCH_churn.json)
@@ -44,8 +45,14 @@
  *               decoupled churn run ages flows (> 0 aged), and
  *               decoupled throughput holds >= inline at 10% churn
  *   --prom      write the last run's metrics as Prometheus text
+ *   --prom-port serve GET /metrics live on 127.0.0.1:<port> during the
+ *               last run (0 picks an ephemeral port)
  *   --trace     write the last run's Chrome trace here
  *   --sample-us sampler interval in microseconds (default 2000)
+ *   --perf      per-thread PMU groups (perf_event_open): per-stage
+ *               cycles and LLC/dTLB/branch misses in the JSON; falls
+ *               back to rdtsc-only (perf.degraded=true) when the
+ *               kernel refuses the syscall
  *   --cuckoo-filter  lookup-filter mode of every shard's cuckoo
  *               tables (EMOMA steering / Cuckoo++ negative filters,
  *               DESIGN.md §13); recorded in the JSON meta block
@@ -67,6 +74,7 @@
 #include "obs/json.hh"
 #include "obs/meta.hh"
 #include "obs/metrics.hh"
+#include "obs/prom_http.hh"
 #include "runtime/runtime.hh"
 
 using namespace halo;
@@ -83,7 +91,10 @@ struct Options
     std::uint64_t flows = 20000;
     unsigned workers = 4;
     std::uint64_t sampleMicros = 2000;
+    std::uint16_t promPort = 0;
+    bool promPortSet = false;
     bool smoke = false;
+    bool perf = false;
     CuckooFilter filter = CuckooFilter::None;
 };
 
@@ -152,6 +163,9 @@ struct ChurnResult
     double upcallRingDepthMax = 0.0;
     RevalidatorCounters reval;
     obs::SampleSeries samples;
+    bool perfEnabled = false;
+    bool perfDegraded = false;
+    std::vector<obs::PerfStageTotals> perfStages;
 };
 
 ChurnResult
@@ -185,6 +199,7 @@ runOnce(bool decoupled, double churn, const Options &opt,
     cfg.rss.symmetric = true;
     cfg.enqueueRetries = 65536;
     cfg.samplerIntervalMicros = opt.sampleMicros;
+    cfg.perfEnabled = opt.perf;
     cfg.warmTables = false; // megaflow starts empty in both modes
     cfg.openflowRules = &ofRules;
     if (decoupled) {
@@ -212,6 +227,28 @@ runOnce(bool decoupled, double churn, const Options &opt,
     for (const FiveTuple &t : slots)
         rt.dispatcher().noteNewFlow(t);
 
+    // Live telemetry: attached sources are relaxed atomics inside the
+    // runtime, so the exporter may render the registry mid-run. The
+    // same registry backs the --prom file after the run.
+    obs::MetricsRegistry liveReg;
+    std::unique_ptr<obs::PromHttpExporter> exporter;
+    const bool want_prom =
+        last_run && (!opt.promPath.empty() || opt.promPortSet);
+    if (want_prom)
+        rt.registerMetrics(liveReg);
+    if (last_run && opt.promPortSet) {
+        obs::PromHttpExporter::Options eo;
+        eo.port = opt.promPort;
+        exporter = std::make_unique<obs::PromHttpExporter>(
+            eo, [&liveReg] { return liveReg.renderPrometheus(); });
+        if (exporter->start())
+            std::printf("serving GET http://127.0.0.1:%u/metrics\n",
+                        exporter->port());
+        else
+            std::fprintf(stderr, "warning: prom exporter: %s\n",
+                         exporter->lastError().c_str());
+    }
+
     Xoshiro256 rng(0xc402u);
     ZipfDistribution zipf(slots.size(), 0.9);
     std::uint64_t nextFlowId = opt.flows;
@@ -235,6 +272,14 @@ runOnce(bool decoupled, double churn, const Options &opt,
     const auto t1 = SteadyClock::now();
     rt.stopSampler();
     rt.stop();
+
+    if (exporter) {
+        exporter->stop();
+        std::printf("prom exporter served %llu scrape%s\n",
+                    static_cast<unsigned long long>(
+                        exporter->scrapesServed()),
+                    exporter->scrapesServed() == 1 ? "" : "s");
+    }
 
     const RuntimeReport rep = rt.report();
     const double wallSeconds =
@@ -276,6 +321,9 @@ runOnce(bool decoupled, double churn, const Options &opt,
     res.upcallDrops = rep.aggregate.upcallDrops;
     res.reval = rep.aggregate.revalidator;
     res.samples = rep.samples;
+    res.perfEnabled = rep.perfEnabled;
+    res.perfDegraded = rep.perfDegraded;
+    res.perfStages = rep.perfStages;
     if (!rep.samples.columns.empty()) {
         for (std::size_t c = 0; c < rep.samples.columns.size(); ++c) {
             if (rep.samples.columns[c] != "upcall_ring_depth")
@@ -287,25 +335,19 @@ runOnce(bool decoupled, double churn, const Options &opt,
     }
 
     if (!opt.promPath.empty() && last_run) {
-        obs::MetricsRegistry reg;
-        reg.counter("halo_rt_offered", {}, double(res.offered));
-        reg.counter("halo_rt_processed", {}, double(res.processed));
-        reg.counter("halo_rt_upcalls_enqueued", {},
-                    double(res.upcallsEnqueued));
-        reg.counter("halo_rt_upcall_drops", {}, double(res.upcallDrops));
-        reg.counter("halo_reval_installs", {},
-                    double(res.reval.installs));
-        reg.counter("halo_reval_aged_flows", {},
-                    double(res.reval.agedFlows));
-        reg.gauge("halo_rt_aggregate_cpu_pps", {}, res.aggregateCpuPps);
-        rt.dispatcher().registerMetrics(reg);
+        // The file exposition is the live registry — runtime and
+        // per-worker counters, seqlock retries, upcall/revalidator
+        // series, RSS rebalances, per-stage PMU counters — plus the
+        // bench-derived aggregate rate.
+        liveReg.gauge("halo_rt_aggregate_cpu_pps", {},
+                      res.aggregateCpuPps);
         std::ofstream prom(opt.promPath);
         if (!prom) {
             std::fprintf(stderr, "error: cannot write %s\n",
                          opt.promPath.c_str());
             std::exit(1);
         }
-        reg.writePrometheus(prom);
+        liveReg.writePrometheus(prom);
         std::printf("wrote %s\n", opt.promPath.c_str());
     }
 
@@ -319,29 +361,6 @@ runOnce(bool decoupled, double churn, const Options &opt,
         static_cast<unsigned long long>(res.reval.agedFlows +
                                         res.reval.agedEmc));
     return res;
-}
-
-void
-writeSeries(obs::JsonWriter &j, const obs::SampleSeries &s)
-{
-    j.beginObject();
-    j.key("columns").beginArray();
-    for (const std::string &c : s.columns)
-        j.value(c);
-    j.endArray();
-    j.key("t_nanos").beginArray();
-    for (const std::uint64_t t : s.tNanos)
-        j.value(t);
-    j.endArray();
-    j.key("rows").beginArray();
-    for (const auto &row : s.rows) {
-        j.beginArray();
-        for (const double v : row)
-            j.value(v, 1);
-        j.endArray();
-    }
-    j.endArray();
-    j.endObject();
 }
 
 double
@@ -375,6 +394,10 @@ writeJson(const Options &opt, const std::vector<ChurnResult> &runs)
     j.kv("smoke", opt.smoke);
     j.kv("cuckoo_filter", cuckooFilterName(opt.filter));
     j.kv("host_cpus", std::thread::hardware_concurrency());
+    j.kv("perf_compiled_in", obs::perfCompiledIn());
+    j.kv("perf_enabled", opt.perf && obs::perfCompiledIn());
+    j.kv("perf_degraded",
+         !runs.empty() && runs.back().perfDegraded);
     j.kv("zipf_skew", 0.9, 2);
     j.kv("headline_speedup_10pct_churn", speedupAt(runs, 0.1), 2);
     j.kv("methodology",
@@ -418,7 +441,12 @@ writeJson(const Options &opt, const std::vector<ChurnResult> &runs)
         }
         if (!r.samples.columns.empty()) {
             j.key("samples");
-            writeSeries(j, r.samples);
+            writeSampleSeries(j, r.samples);
+        }
+        if (r.perfEnabled) {
+            j.key("perf");
+            writePerfBlock(j, r.perfEnabled, r.perfDegraded,
+                           r.perfStages);
         }
         j.endObject();
     }
@@ -446,12 +474,18 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--prom" && i + 1 < argc) {
             opt.promPath = argv[++i];
+        } else if (arg == "--prom-port" && i + 1 < argc) {
+            opt.promPort = static_cast<std::uint16_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+            opt.promPortSet = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.tracePath = argv[++i];
         } else if (arg == "--sample-us" && i + 1 < argc) {
             opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--smoke") {
             opt.smoke = true;
+        } else if (arg == "--perf") {
+            opt.perf = true;
         } else if (arg == "--cuckoo-filter" && i + 1 < argc) {
             const auto mode = parseCuckooFilter(argv[++i]);
             if (!mode) {
@@ -465,8 +499,8 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--packets N] "
                          "[--flows N] [--workers N] [--smoke] "
-                         "[--prom FILE] [--trace FILE] "
-                         "[--sample-us N] "
+                         "[--prom FILE] [--prom-port N] [--trace FILE] "
+                         "[--sample-us N] [--perf] "
                          "[--cuckoo-filter none|emoma|cuckoopp|both]\n",
                          argv[0]);
             return 2;
@@ -475,6 +509,10 @@ main(int argc, char **argv)
 
     banner("Flow-churn throughput",
            "inline vs decoupled slow path under Zipf churn");
+    if (opt.perf && !obs::perfCompiledIn())
+        std::fprintf(stderr,
+                     "warning: built with HALO_PERF=OFF; --perf will "
+                     "record nothing\n");
 
     if (opt.smoke) {
         opt.workers = 2;
@@ -527,6 +565,23 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "smoke FAILED: revalidator installed "
                              "nothing under churn\n");
+                return 1;
+            }
+        }
+        // --perf must attribute cycles to the batch stage whether or
+        // not perf_event_open succeeded (degraded runs keep rdtsc).
+        if (opt.perf && obs::perfCompiledIn()) {
+            const ChurnResult &last = runs.back();
+            bool batchSeen = false;
+            for (const obs::PerfStageTotals &s : last.perfStages)
+                if (s.stage == "worker/batch" && s.entries > 0 &&
+                    s.tscCycles > 0)
+                    batchSeen = true;
+            if (!batchSeen) {
+                std::fprintf(stderr,
+                             "smoke FAILED: --perf recorded no "
+                             "worker/batch stage cycles (degraded=%s)\n",
+                             last.perfDegraded ? "true" : "false");
                 return 1;
             }
         }

@@ -25,6 +25,7 @@
  *
  * Usage:
  *   cuckoo_miss_sweep [--out FILE] [--lookups N] [--smoke]
+ *                     [--prom FILE] [--sample-us N] [--perf]
  *
  *   --out      JSON output path (default BENCH_cuckoo_miss.json)
  *   --lookups  timed lookups per cell (default 1M, smoke 200k)
@@ -34,6 +35,19 @@
  *              0%-hit miss_speedup of mode both is >= 1.0x, and the
  *              100%-hit throughput ratios clear a loose sanity floor
  *              (>= 0.65x unfiltered)
+ *   --prom     write the sweep's metrics (per-cell Mops, per-mode
+ *              filter steer/degraded counts, perf degradation) as
+ *              Prometheus text
+ *   --sample-us  background sampler interval in microseconds
+ *              (0 = off): records sweep progress (cells and lookups
+ *              completed) as a time series in the JSON
+ *   --perf     hardware counters (perf_event_open, main thread): a
+ *              dedicated measured pass per cell records exact (not
+ *              sampled) cycles/instructions/LLC/dTLB/branch-miss
+ *              deltas, giving hardware LLC-misses-per-lookup next to
+ *              the simulated buckets-per-lookup; falls back to
+ *              rdtsc-only (perf_degraded=true) when the kernel
+ *              refuses the syscall
  *
  * Gate calibration: the bucket-read counts are deterministic (traced
  * reference counting, no clock involved) and regime-independent, so
@@ -49,11 +63,13 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,7 +78,9 @@
 #include "hash/cuckoo_table.hh"
 #include "obs/json.hh"
 #include "obs/meta.hh"
+#include "obs/metrics.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
 
 using namespace halo;
 using namespace halo::bench;
@@ -90,8 +108,11 @@ constexpr bool sanitizedBuild = false;
 struct Options
 {
     std::string outPath = "BENCH_cuckoo_miss.json";
+    std::string promPath;
     std::uint64_t lookups = 1u << 20;
+    std::uint64_t sampleMicros = 0;
     bool smoke = false;
+    bool perf = false;
 };
 
 struct Cell
@@ -105,6 +126,13 @@ struct Cell
     double bucketsPerMiss = 0.0;
     double filterLinesPerLookup = 0.0;
     bool degraded = false;
+    /// @name --perf: exact PMU deltas over a dedicated measured pass
+    /**@{*/
+    bool hwRecorded = false; ///< the pass ran (rdtsc at minimum)
+    bool hwValid = false;    ///< PMU group open succeeded
+    double hwTscCyclesPerLookup = 0.0;
+    std::array<double, obs::numPerfEvents> hwPerLookup{};
+    /**@}*/
 };
 
 struct BulkCell
@@ -112,6 +140,15 @@ struct BulkCell
     CuckooFilter mode = CuckooFilter::None;
     double occupancy = 0.0;
     double mops = 0.0;
+};
+
+/** Per-(mode, occupancy) table-level counters for the exposition. */
+struct ModeStats
+{
+    CuckooFilter mode = CuckooFilter::None;
+    double occupancy = 0.0;
+    std::uint64_t filterSteers = 0;
+    bool filterDegraded = false;
 };
 
 /** Deterministic 16-byte key. @p present tags the two disjoint key
@@ -197,15 +234,22 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
             opt.outPath = argv[++i];
+        } else if (arg == "--prom" && i + 1 < argc) {
+            opt.promPath = argv[++i];
         } else if (arg == "--lookups" && i + 1 < argc) {
             opt.lookups = std::strtoull(argv[++i], nullptr, 10);
             lookups_given = true;
+        } else if (arg == "--sample-us" && i + 1 < argc) {
+            opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--smoke") {
             opt.smoke = true;
+        } else if (arg == "--perf") {
+            opt.perf = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--lookups N] "
-                         "[--smoke]\n",
+                         "[--smoke] [--prom FILE] [--sample-us N] "
+                         "[--perf]\n",
                          argv[0]);
             return 2;
         }
@@ -215,6 +259,41 @@ main(int argc, char **argv)
 
     banner("Cuckoo lookup-filter sweep",
            "EMOMA probe steering + Cuckoo++ negative filters");
+
+    // --perf: one main-thread group, opened once; the sweep is
+    // single-threaded, so exact before/after reads around a dedicated
+    // pass per cell need no sampling. Degraded (refused syscall) keeps
+    // the rdtsc-only pass.
+    std::unique_ptr<obs::PerfCounterGroup> perfGroup;
+    if (opt.perf && obs::perfCompiledIn()) {
+        perfGroup = std::make_unique<obs::PerfCounterGroup>();
+        if (perfGroup->degraded())
+            std::fprintf(stderr,
+                         "note: perf_event_open failed (errno %d); "
+                         "recording rdtsc-only hw cycles\n",
+                         perfGroup->degradedErrno());
+    } else if (opt.perf) {
+        std::fprintf(stderr,
+                     "warning: built with HALO_PERF=OFF; --perf will "
+                     "record nothing\n");
+    }
+
+    // --sample-us: sweep progress as a time series (long full sweeps
+    // stall invisibly otherwise; the columns mirror the runtime
+    // benches' sampler contract — relaxed-atomic reads only).
+    PublishedCounter cellsDone, lookupsDone;
+    std::unique_ptr<obs::Sampler> sampler;
+    if (opt.sampleMicros > 0) {
+        sampler = std::make_unique<obs::Sampler>(
+            std::vector<std::string>{"cells_done", "lookups_done"},
+            [&cellsDone, &lookupsDone] {
+                return std::vector<double>{
+                    double(cellsDone.value()),
+                    double(lookupsDone.value())};
+            });
+        sampler->start(std::chrono::microseconds(opt.sampleMicros),
+                       512);
+    }
 
     // Geometry: pick the bucket count directly (capacity is derived so
     // the constructor lands on exactly `buckets`), making "occupancy"
@@ -237,6 +316,7 @@ main(int argc, char **argv)
 
     std::vector<Cell> cells;
     std::vector<BulkCell> bulkCells;
+    std::vector<ModeStats> modeStats;
 
     std::printf("%-9s %5s %5s %10s %8s %9s %10s\n", "mode", "occ%",
                 "hit%", "ns/lookup", "Mops", "bkts/hit", "bkts/miss");
@@ -302,6 +382,39 @@ main(int argc, char **argv)
                              ? double(opt.lookups) / dt / 1e6
                              : 0.0;
                 c.degraded = mt.table.filterDegraded();
+                lookupsDone.add(opt.lookups * timingReps);
+
+                // Hardware truth: exact PMU deltas (no sampling, no
+                // multiplex pressure beyond the 5-event group) around
+                // one more pass over the same schedule. Runs after the
+                // timed loop so caches are in steady state.
+                if (perfGroup) {
+                    const std::uint64_t hwLookups =
+                        std::min<std::uint64_t>(opt.lookups, schedLen);
+                    const obs::PerfGroupReading r0 = perfGroup->read();
+                    const std::uint64_t t0 = obs::perfTscNow();
+                    std::uint64_t hwSum = 0;
+                    for (std::uint64_t i = 0; i < hwLookups; ++i) {
+                        const auto v = mt.table.lookup(
+                            KeyView(sched[i % schedLen], keyLen));
+                        hwSum += v ? *v : 0;
+                    }
+                    const std::uint64_t t1 = obs::perfTscNow();
+                    const obs::PerfGroupReading r1 = perfGroup->read();
+                    checksumSink = hwSum;
+                    c.hwRecorded = true;
+                    c.hwTscCyclesPerLookup =
+                        double(t1 - t0) / double(hwLookups);
+                    if (r0.hwValid && r1.hwValid) {
+                        const auto delta = obs::perfScaledDelta(r0, r1);
+                        c.hwValid = true;
+                        for (unsigned e = 0; e < obs::numPerfEvents;
+                             ++e)
+                            c.hwPerLookup[e] =
+                                double(delta[e]) / double(hwLookups);
+                    }
+                    lookupsDone.add(hwLookups);
+                }
 
                 // Traced sample: count bucket-line reads per hit and
                 // per miss (phase Filter is the steering line).
@@ -332,6 +445,7 @@ main(int argc, char **argv)
                 c.filterLinesPerLookup =
                     double(filterLines) / double(tracedSamples);
                 cells.push_back(c);
+                cellsDone.add(1);
 
                 std::printf("%-9s %5.0f %5.0f %10.1f %8.2f %9.3f "
                             "%10.3f\n",
@@ -379,8 +493,19 @@ main(int argc, char **argv)
                             b.mops);
                 checksumSink = checksum;
             }
+
+            ModeStats ms;
+            ms.mode = mode;
+            ms.occupancy = occ;
+            ms.filterSteers = mt.table.filterSteers();
+            ms.filterDegraded = mt.table.filterDegraded();
+            modeStats.push_back(ms);
         }
     }
+
+    if (sampler)
+        sampler->stop();
+    const bool perfDegraded = perfGroup && perfGroup->degraded();
 
     // Headline ratios at 75% occupancy (the acceptance point).
     auto cellAt = [&](CuckooFilter mode, double occ,
@@ -440,6 +565,10 @@ main(int argc, char **argv)
     j.kv("lookups_per_cell", opt.lookups);
     j.kv("traced_samples", tracedSamples);
     j.kv("bucket_scan", bucketScanKind);
+    j.kv("sampler_interval_us", opt.sampleMicros);
+    j.kv("perf_compiled_in", obs::perfCompiledIn());
+    j.kv("perf_enabled", perfGroup != nullptr);
+    j.kv("perf_degraded", perfDegraded);
     j.kv("miss_speedup", missSpeedup, 3);
     j.kv("hit_throughput_ratio_emoma", hitRatioEmoma, 3);
     j.kv("hit_throughput_ratio_both", hitRatioBoth, 3);
@@ -470,9 +599,37 @@ main(int argc, char **argv)
         j.kv("buckets_per_miss", c.bucketsPerMiss, 4);
         j.kv("filter_lines_per_lookup", c.filterLinesPerLookup, 4);
         j.kv("degraded", c.degraded);
+        if (c.hwRecorded) {
+            // Hardware buckets-per-lookup proxy next to the simulated
+            // number: llc_load_misses_per_lookup is the DRAM-line
+            // count the filters claim to save.
+            j.key("hw").beginObject();
+            j.kv("valid", c.hwValid);
+            j.kv("tsc_cycles_per_lookup", c.hwTscCyclesPerLookup, 2);
+            if (c.hwValid)
+                for (unsigned e = 0; e < obs::numPerfEvents; ++e)
+                    j.kv(std::string(obs::perfEventName(e)) +
+                             "_per_lookup",
+                         c.hwPerLookup[e], 4);
+            j.endObject();
+        }
         j.endObject();
     }
     j.endArray();
+    j.key("filter_counters").beginArray();
+    for (const ModeStats &ms : modeStats) {
+        j.beginObject();
+        j.kv("mode", cuckooFilterName(ms.mode));
+        j.kv("occupancy", ms.occupancy, 2);
+        j.kv("filter_steers", ms.filterSteers);
+        j.kv("filter_degraded", ms.filterDegraded);
+        j.endObject();
+    }
+    j.endArray();
+    if (sampler && !sampler->series().columns.empty()) {
+        j.key("samples");
+        writeSampleSeries(j, sampler->series());
+    }
     j.key("bulk").beginArray();
     for (const BulkCell &b : bulkCells) {
         j.beginObject();
@@ -490,6 +647,45 @@ main(int argc, char **argv)
                 "(both/none): %.2fx\n",
                 hitRatioEmoma, hitRatioBoth);
     std::printf("bulk hit speedup (both/none): %.2fx\n", bulkSpeedup);
+
+    if (!opt.promPath.empty()) {
+        obs::MetricsRegistry reg;
+        for (const Cell &c : cells) {
+            const std::vector<std::pair<std::string, std::string>>
+                labels = {{"mode", cuckooFilterName(c.mode)},
+                          {"occupancy",
+                           std::to_string(int(c.occupancy * 100))},
+                          {"hit_ratio",
+                           std::to_string(int(c.hitRatio * 100))}};
+            reg.gauge("halo_sweep_mops", labels, c.mops);
+            reg.gauge("halo_sweep_buckets_per_miss", labels,
+                      c.bucketsPerMiss);
+            if (c.hwValid)
+                reg.gauge("halo_sweep_hw_llc_misses_per_lookup",
+                          labels,
+                          c.hwPerLookup[unsigned(
+                              obs::PerfEvent::LlcLoadMisses)]);
+        }
+        for (const ModeStats &ms : modeStats) {
+            const std::vector<std::pair<std::string, std::string>>
+                labels = {{"mode", cuckooFilterName(ms.mode)},
+                          {"occupancy",
+                           std::to_string(int(ms.occupancy * 100))}};
+            reg.counter("halo_sweep_filter_steers", labels,
+                        double(ms.filterSteers));
+            reg.gauge("halo_sweep_filter_degraded", labels,
+                      ms.filterDegraded ? 1.0 : 0.0);
+        }
+        reg.gauge("halo_perf_degraded", {}, perfDegraded ? 1.0 : 0.0);
+        std::ofstream prom(opt.promPath);
+        if (!prom) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.promPath.c_str());
+            return 1;
+        }
+        reg.writePrometheus(prom);
+        std::printf("wrote %s\n", opt.promPath.c_str());
+    }
 
     if (opt.smoke) {
         bool ok = true;
@@ -536,6 +732,44 @@ main(int argc, char **argv)
                              "(< 1.0x)\n",
                              missSpeedup);
                 ok = false;
+            }
+        }
+        if (perfGroup) {
+            // Every cell must have recorded hardware cycles, degraded
+            // or not (the rdtsc pass never needs privileges).
+            for (const Cell &c : cells)
+                if (!c.hwRecorded || c.hwTscCyclesPerLookup <= 0.0) {
+                    std::fprintf(stderr,
+                                 "smoke FAILED: --perf cell recorded "
+                                 "no hw cycles\n");
+                    ok = false;
+                    break;
+                }
+            if (!perfDegraded) {
+                // Hardware truth must agree with the simulated bucket
+                // counts: steered/filtered misses touch fewer DRAM
+                // lines than unfiltered ones. Tolerances absorb
+                // prefetcher and multiplex noise; absolute slack
+                // covers LLC-resident tables where misses are ~0.
+                const unsigned llc =
+                    unsigned(obs::PerfEvent::LlcLoadMisses);
+                const Cell *nm = cellAt(CuckooFilter::None, accOcc, 0.0);
+                for (const CuckooFilter mode :
+                     {CuckooFilter::Emoma, CuckooFilter::Both}) {
+                    const Cell *fm = cellAt(mode, accOcc, 0.0);
+                    if (!nm || !fm || !nm->hwValid || !fm->hwValid)
+                        continue;
+                    if (fm->hwPerLookup[llc] >
+                        nm->hwPerLookup[llc] * 1.25 + 0.5) {
+                        std::fprintf(
+                            stderr,
+                            "smoke FAILED: %s hw llc misses/lookup "
+                            "%.3f > unfiltered %.3f (misses)\n",
+                            cuckooFilterName(mode),
+                            fm->hwPerLookup[llc], nm->hwPerLookup[llc]);
+                        ok = false;
+                    }
+                }
             }
         }
         if (!ok)

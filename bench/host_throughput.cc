@@ -19,7 +19,7 @@
  *
  * Usage:
  *   host_throughput [--out FILE] [--baseline FILE] [--min-time SECS]
- *                   [--prom FILE] [--burst N]
+ *                   [--prom FILE] [--burst N] [--perf]
  *
  *   --out      JSON output path (default BENCH_host_throughput.json)
  *   --baseline a previous output of this harness (e.g. one produced
@@ -33,15 +33,22 @@
  *              reproducing the scalar numbers). The cuckoo sweep
  *              cuckoo_lookup_burst{4,8,16,32} always runs all four
  *              sizes regardless.
+ *   --perf     hardware counters (perf_event_open, main thread): one
+ *              exact-read pass per benchmark records
+ *              cycles/instructions/LLC/dTLB/branch misses per op into
+ *              the JSON ("hw" per bench); degrades to rdtsc-only when
+ *              the syscall is refused (perf_degraded)
  */
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,6 +70,21 @@ using Clock = std::chrono::steady_clock;
 
 double minTime = 0.5;
 unsigned burstWindow = 16;
+
+/** @name --perf: main-thread PMU group + per-bench exact deltas
+ *  The sweep is single-threaded, so one group opened at startup covers
+ *  every benchmark; measure() adds one exact-read pass per bench. */
+/**@{*/
+std::unique_ptr<obs::PerfCounterGroup> perfGroup;
+
+struct HwStats
+{
+    bool valid = false; ///< PMU deltas usable (group not degraded)
+    double tscCyclesPerOp = 0.0;
+    std::array<double, obs::numPerfEvents> perOp{};
+};
+std::map<std::string, HwStats> hwStats;
+/**@}*/
 
 /** Measured results, in insertion order plus keyed access. */
 struct Results
@@ -107,6 +129,27 @@ measure(const char *name, std::uint64_t batch, Body &&body)
     std::printf("%-28s %12.0f ops/s  (%.2f Mops, best of %llu passes)\n",
                 name, rate, rate / 1e6,
                 static_cast<unsigned long long>(passes));
+    if (perfGroup) {
+        // Hardware truth: one more pass with exact PMU reads around
+        // it. Runs after the timed loop, so caches are steady-state
+        // and the pass does not perturb the reported rate.
+        const obs::PerfGroupReading r0 = perfGroup->read();
+        const std::uint64_t t0 = obs::perfTscNow();
+        body();
+        const std::uint64_t t1 = obs::perfTscNow();
+        const obs::PerfGroupReading r1 = perfGroup->read();
+        HwStats hw;
+        hw.tscCyclesPerOp =
+            static_cast<double>(t1 - t0) / static_cast<double>(batch);
+        if (r0.hwValid && r1.hwValid) {
+            const auto delta = obs::perfScaledDelta(r0, r1);
+            hw.valid = true;
+            for (unsigned e = 0; e < obs::numPerfEvents; ++e)
+                hw.perOp[e] = static_cast<double>(delta[e]) /
+                              static_cast<double>(batch);
+        }
+        hwStats[name] = hw;
+    }
     return rate;
 }
 
@@ -529,10 +572,28 @@ writeJson(const std::string &path, const Results &res,
     j.kv("unit", "ops_per_sec");
     j.kv("min_time_sec", minTime);
     j.kv("burst", static_cast<std::uint64_t>(burstWindow));
+    j.kv("perf_compiled_in", obs::perfCompiledIn());
+    j.kv("perf_enabled", perfGroup != nullptr);
+    j.kv("perf_degraded", perfGroup && perfGroup->degraded());
     j.key("ops_per_sec").beginObject();
     for (const auto &[name, ops] : res.opsPerSec)
         j.kv(name, ops, 1);
     j.endObject();
+    if (!hwStats.empty()) {
+        j.key("hw").beginObject();
+        for (const auto &[name, hw] : hwStats) {
+            j.key(name).beginObject();
+            j.kv("valid", hw.valid);
+            j.kv("tsc_cycles_per_op", hw.tscCyclesPerOp, 2);
+            if (hw.valid)
+                for (unsigned e = 0; e < obs::numPerfEvents; ++e)
+                    j.kv(std::string(obs::perfEventName(e)) +
+                             "_per_op",
+                         hw.perOp[e], 4);
+            j.endObject();
+        }
+        j.endObject();
+    }
     // Burst-vs-scalar ratios for the same-workload pairs (the CI smoke
     // gate reads these; > 1.0 means the burst path is pulling ahead).
     const auto find = [&](const char *name) {
@@ -587,6 +648,17 @@ writeProm(const std::string &path, const Results &res)
     reg.gauge("halo_host_min_time_sec", {}, minTime);
     for (const auto &[name, ops] : res.opsPerSec)
         reg.gauge("halo_host_ops_per_sec", {{"bench", name}}, ops);
+    if (perfGroup)
+        reg.gauge("halo_perf_degraded", {},
+                  perfGroup->degraded() ? 1.0 : 0.0);
+    for (const auto &[name, hw] : hwStats) {
+        reg.gauge("halo_host_hw_tsc_cycles_per_op", {{"bench", name}},
+                  hw.tscCyclesPerOp);
+        if (hw.valid)
+            reg.gauge(
+                "halo_host_hw_llc_misses_per_op", {{"bench", name}},
+                hw.perOp[unsigned(obs::PerfEvent::LlcLoadMisses)]);
+    }
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -604,6 +676,7 @@ main(int argc, char **argv)
     std::string outPath = "BENCH_host_throughput.json";
     std::string baselinePath;
     std::string promPath;
+    bool perf = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
@@ -623,11 +696,13 @@ main(int argc, char **argv)
             // burst_speedup ratios the workflow gates on, without
             // spending minutes on publication-grade numbers.
             minTime = 0.05;
+        } else if (arg == "--perf") {
+            perf = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--baseline FILE] "
                          "[--min-time SECS] [--prom FILE] [--burst N] "
-                         "[--smoke]\n",
+                         "[--smoke] [--perf]\n",
                          argv[0]);
             return 2;
         }
@@ -635,6 +710,19 @@ main(int argc, char **argv)
 
     banner("Host throughput",
            "wall-clock ops/sec of the functional fast paths");
+
+    if (perf && obs::perfCompiledIn()) {
+        perfGroup = std::make_unique<obs::PerfCounterGroup>();
+        if (perfGroup->degraded())
+            std::fprintf(stderr,
+                         "note: perf_event_open failed (errno %d); "
+                         "recording rdtsc-only hw cycles\n",
+                         perfGroup->degradedErrno());
+    } else if (perf) {
+        std::fprintf(stderr,
+                     "warning: built with HALO_PERF=OFF; --perf will "
+                     "record nothing\n");
+    }
 
     Results res;
     benchCuckoo(res);

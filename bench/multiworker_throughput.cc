@@ -26,8 +26,8 @@
  *
  * Usage:
  *   multiworker_throughput [--out FILE] [--packets N] [--smoke]
- *                          [--trace FILE] [--prom FILE] [--sample-us N]
- *                          [--burst N]
+ *                          [--trace FILE] [--prom FILE] [--prom-port N]
+ *                          [--sample-us N] [--burst N] [--perf]
  *
  *   --out       JSON output path (default BENCH_multiworker.json)
  *   --packets   packets per run (default 200000)
@@ -39,11 +39,18 @@
  *   --trace     write the last run's Chrome trace here (open in
  *               chrome://tracing or https://ui.perfetto.dev)
  *   --prom      write the last run's metrics as Prometheus text
+ *   --prom-port serve GET /metrics live on 127.0.0.1:<port> during the
+ *               last run (0 picks an ephemeral port) — per-worker,
+ *               per-stage counters straight off the running dataplane
  *   --sample-us sampler interval in microseconds (0 disables;
  *               default 2000)
  *   --burst     classification burst width per worker (default 16,
  *               clamped to [1, 32]; 1 = scalar processPacket loop,
  *               reproducing the per-packet numbers)
+ *   --perf      per-thread PMU groups (perf_event_open): per-stage
+ *               cycles and LLC/dTLB/branch misses in the JSON; falls
+ *               back to rdtsc-only (perf.degraded=true) when the
+ *               kernel refuses the syscall
  */
 
 #include <cstdint>
@@ -62,6 +69,7 @@
 #include "obs/json.hh"
 #include "obs/meta.hh"
 #include "obs/metrics.hh"
+#include "obs/prom_http.hh"
 #include "runtime/runtime.hh"
 
 using namespace halo;
@@ -97,6 +105,9 @@ struct ScaleResult
     obs::SampleSeries samples;
     std::uint64_t traceEvents = 0;
     std::uint64_t traceDropped = 0;
+    bool perfEnabled = false;
+    bool perfDegraded = false;
+    std::vector<obs::PerfStageTotals> perfStages;
 };
 
 struct Options
@@ -107,7 +118,10 @@ struct Options
     std::uint64_t packets = 200000;
     std::uint64_t sampleMicros = 2000;
     unsigned burst = 16;
+    std::uint16_t promPort = 0;
+    bool promPortSet = false;
     bool smoke = false;
+    bool perf = false;
 };
 
 ScaleResult
@@ -133,11 +147,43 @@ runOnce(unsigned workers, unsigned burst, std::uint64_t flows,
     // instead of spinning the producer; overflow still drops, counted.
     cfg.enqueueRetries = 65536;
     cfg.samplerIntervalMicros = opt.sampleMicros;
+    cfg.perfEnabled = opt.perf;
     if (!opt.tracePath.empty() && last_run)
         cfg.traceCapacity = 1 << 15; // 512 KiB per worker
 
     Runtime rt(cfg, rules);
+
+    // Live telemetry: the registry's attached sources are relaxed
+    // atomics inside the runtime, so the exporter may render it while
+    // workers run. The same registry backs the --prom file afterwards.
+    obs::MetricsRegistry liveReg;
+    std::unique_ptr<obs::PromHttpExporter> exporter;
+    const bool want_prom =
+        last_run && (!opt.promPath.empty() || opt.promPortSet);
+    if (want_prom)
+        rt.registerMetrics(liveReg);
+    if (last_run && opt.promPortSet) {
+        obs::PromHttpExporter::Options eo;
+        eo.port = opt.promPort;
+        exporter = std::make_unique<obs::PromHttpExporter>(
+            eo, [&liveReg] { return liveReg.renderPrometheus(); });
+        if (exporter->start())
+            std::printf("serving GET http://127.0.0.1:%u/metrics\n",
+                        exporter->port());
+        else
+            std::fprintf(stderr, "warning: prom exporter: %s\n",
+                         exporter->lastError().c_str());
+    }
+
     const RuntimeReport rep = rt.run(traffic, packets);
+
+    if (exporter) {
+        exporter->stop();
+        std::printf("prom exporter served %llu scrape%s\n",
+                    static_cast<unsigned long long>(
+                        exporter->scrapesServed()),
+                    exporter->scrapesServed() == 1 ? "" : "s");
+    }
 
     if (cfg.traceCapacity) {
         std::ofstream trace(opt.tracePath);
@@ -186,30 +232,27 @@ runOnce(unsigned workers, unsigned burst, std::uint64_t flows,
             res.traceDropped += rec->dropped();
         }
     }
+    res.perfEnabled = rep.perfEnabled;
+    res.perfDegraded = rep.perfDegraded;
+    res.perfStages = rep.perfStages;
 
     if (!opt.promPath.empty() && last_run) {
-        // One namespace over both metric families: the runtime's
-        // published counters and each shard's StatGroups, labeled per
-        // worker.
-        obs::MetricsRegistry reg;
-        reg.counter("halo_rt_offered", {}, double(res.offered));
-        reg.counter("halo_rt_processed", {}, double(res.processed));
-        reg.counter("halo_rt_ring_full_drops", {},
-                    double(res.ringFullDrops));
-        reg.gauge("halo_rt_aggregate_cpu_pps", {}, res.aggregateCpuPps);
+        // The file exposition is the live registry (runtime counters,
+        // seqlock/steer/upcall series, per-stage PMU counters — all
+        // final now the workers are joined) plus the bench-derived
+        // gauges and each shard's StatGroups, labeled per worker.
+        liveReg.gauge("halo_rt_aggregate_cpu_pps", {},
+                      res.aggregateCpuPps);
         for (unsigned w = 0; w < rt.numWorkers(); ++w) {
             const std::string id = std::to_string(w);
             const auto &pw = res.perWorker[w];
-            reg.counter("halo_worker_packets", {{"worker", id}},
-                        double(pw.packets));
-            reg.counter("halo_worker_busy_nanos", {{"worker", id}},
-                        double(pw.busyNanos));
-            reg.gauge("halo_worker_cpu_pps", {{"worker", id}},
-                      pw.cpuPps);
-            reg.gauge("halo_worker_batch_p99_us", {{"worker", id}},
-                      pw.batchP99Us);
-            reg.addStatGroup(rt.worker(w).shard().hierarchy().stats(),
-                             {{"worker", id}});
+            liveReg.gauge("halo_worker_cpu_pps", {{"worker", id}},
+                          pw.cpuPps);
+            liveReg.gauge("halo_worker_batch_p99_us", {{"worker", id}},
+                          pw.batchP99Us);
+            liveReg.addStatGroup(
+                rt.worker(w).shard().hierarchy().stats(),
+                {{"worker", id}});
         }
         std::ofstream prom(opt.promPath);
         if (!prom) {
@@ -217,7 +260,7 @@ runOnce(unsigned workers, unsigned burst, std::uint64_t flows,
                          opt.promPath.c_str());
             std::exit(1);
         }
-        reg.writePrometheus(prom);
+        liveReg.writePrometheus(prom);
         std::printf("wrote %s\n", opt.promPath.c_str());
     }
 
@@ -234,29 +277,6 @@ runOnce(unsigned workers, unsigned burst, std::uint64_t flows,
                     pw.cpuPps, pw.batchP50Us, pw.batchP99Us,
                     pw.batchP999Us);
     return res;
-}
-
-void
-writeSeries(obs::JsonWriter &j, const obs::SampleSeries &s)
-{
-    j.beginObject();
-    j.key("columns").beginArray();
-    for (const std::string &c : s.columns)
-        j.value(c);
-    j.endArray();
-    j.key("t_nanos").beginArray();
-    for (const std::uint64_t t : s.tNanos)
-        j.value(t);
-    j.endArray();
-    j.key("rows").beginArray();
-    for (const auto &row : s.rows) {
-        j.beginArray();
-        for (const double v : row)
-            j.value(v, 1);
-        j.endArray();
-    }
-    j.endArray();
-    j.endObject();
 }
 
 void
@@ -286,6 +306,10 @@ writeJson(const Options &opt, const std::vector<ScaleResult> &runs,
     j.kv("host_cpus", std::thread::hardware_concurrency());
     j.kv("sampler_interval_us", opt.sampleMicros);
     j.kv("tracing_compiled_in", obs::traceCompiledIn());
+    j.kv("perf_compiled_in", obs::perfCompiledIn());
+    j.kv("perf_enabled", opt.perf && obs::perfCompiledIn());
+    j.kv("perf_degraded",
+         !runs.empty() && runs.back().perfDegraded);
     j.kv("methodology",
          "aggregate_cpu_pps sums per-worker CLOCK_THREAD_CPUTIME_ID "
          "rates (packets / busy nanoseconds inside processPacket "
@@ -313,10 +337,15 @@ writeJson(const Options &opt, const std::vector<ScaleResult> &runs,
         j.kv("batch_p999_us", r.batchP999Us, 1);
         if (!r.samples.columns.empty()) {
             j.key("samples");
-            writeSeries(j, r.samples);
+            writeSampleSeries(j, r.samples);
         }
         if (r.traceEvents)
             j.kv("trace_events", r.traceEvents);
+        if (r.perfEnabled) {
+            j.key("perf");
+            writePerfBlock(j, r.perfEnabled, r.perfDegraded,
+                           r.perfStages);
+        }
         j.key("per_worker").beginArray();
         for (const auto &pw : r.perWorker) {
             j.beginObject();
@@ -353,8 +382,14 @@ main(int argc, char **argv)
             opt.tracePath = argv[++i];
         } else if (arg == "--prom" && i + 1 < argc) {
             opt.promPath = argv[++i];
+        } else if (arg == "--prom-port" && i + 1 < argc) {
+            opt.promPort = static_cast<std::uint16_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+            opt.promPortSet = true;
         } else if (arg == "--sample-us" && i + 1 < argc) {
             opt.sampleMicros = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--perf") {
+            opt.perf = true;
         } else if (arg == "--burst" && i + 1 < argc) {
             const std::uint64_t raw =
                 std::strtoull(argv[++i], nullptr, 10);
@@ -366,7 +401,8 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--packets N] "
                          "[--smoke] [--trace FILE] [--prom FILE] "
-                         "[--sample-us N] [--burst N]\n",
+                         "[--prom-port N] [--sample-us N] [--burst N] "
+                         "[--perf]\n",
                          argv[0]);
             return 2;
         }
@@ -378,6 +414,10 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "warning: built with HALO_TRACING=OFF; the trace "
                      "will contain no spans\n");
+    if (opt.perf && !obs::perfCompiledIn())
+        std::fprintf(stderr,
+                     "warning: built with HALO_PERF=OFF; --perf will "
+                     "record nothing\n");
 
     const std::uint64_t flows = opt.smoke ? 10000 : 100000;
     if (opt.smoke && opt.packets == 200000)
@@ -429,6 +469,25 @@ main(int argc, char **argv)
                              r.samples.samples(),
                              static_cast<unsigned long long>(
                                  r.traceEvents));
+                return 1;
+            }
+        }
+        // With --perf on a perf-capable host the hardware counters
+        // must attribute work to the batch stage; on unprivileged
+        // runners the run must still complete with rdtsc-only cycles
+        // (degraded mode) — either way the stage totals exist.
+        if (opt.perf && obs::perfCompiledIn()) {
+            const ScaleResult &last = runs.back();
+            bool batchSeen = false;
+            for (const obs::PerfStageTotals &s : last.perfStages)
+                if (s.stage == "worker/batch" && s.entries > 0 &&
+                    s.tscCycles > 0)
+                    batchSeen = true;
+            if (!batchSeen) {
+                std::fprintf(stderr,
+                             "smoke FAILED: --perf recorded no "
+                             "worker/batch stage cycles (degraded=%s)\n",
+                             last.perfDegraded ? "true" : "false");
                 return 1;
             }
         }

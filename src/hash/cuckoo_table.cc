@@ -413,6 +413,7 @@ CuckooHashTable::lookupFiltered(KeyView key, AccessTrace *trace,
         recordRef(trace, filter_.blockAddr(h), cacheLineBytes, false,
                   AccessPhase::Filter);
         alt_maybe = filter_.query(h);
+        filterSteers_.fetch_add(1, std::memory_order_relaxed);
     }
 
     std::uint64_t order[2];
@@ -530,6 +531,7 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
             recordRef(trace, filter_.blockAddr(h), cacheLineBytes,
                       false, AccessPhase::Filter);
             alt_maybe = filter_.queryAtomic(h);
+            filterSteers_.fetch_add(1, std::memory_order_relaxed);
         }
 
         const auto probe_bucket = [&](std::uint64_t bucket, bool first,
@@ -938,9 +940,11 @@ CuckooHashTable::lookupFilteredBulk(const std::uint8_t *const *keys,
 
     // --- Stage 0b: steer, then prefetch exactly ONE bucket line per
     //     lane — half the unfiltered pipeline's prefetch traffic. ---
+    std::uint64_t steered = 0;
     for (std::size_t i = 0; i < n; ++i) {
         Lane &ln = lanes[i];
         const bool steer = steerable && ln.b2 != ln.b1;
+        steered += steer ? 1 : 0;
         ln.bloomGate = 0;
         if (steer && !filter_.query(ln.h)) {
             ln.first = ln.b1; // definitive single-bucket lookup
@@ -958,6 +962,8 @@ CuckooHashTable::lookupFilteredBulk(const std::uint8_t *const *keys,
         ln.lineFirst = bucketLine(ln.first);
         __builtin_prefetch(ln.lineFirst, 0, 3);
     }
+    if (steered)
+        filterSteers_.fetch_add(steered, std::memory_order_relaxed);
 
     // --- Stage 1: scan the first lines, prefetch candidate kv slots
     //     (same footprint gate as the unfiltered pipeline). ---

@@ -162,7 +162,9 @@ class CuckooHashTable
           epoch_(other.epoch_),
           concurrent_(other.concurrent_),
           seq_(std::move(other.seq_)),
-          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed))
+          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed)),
+          filterSteers_(
+              other.filterSteers_.load(std::memory_order_relaxed))
     {
         // Published mirrors are non-movable atomics: re-publish from
         // the plain writer-owned sources (setup-time only, see above).
@@ -317,6 +319,15 @@ class CuckooHashTable
         return seqRetries_.load(std::memory_order_relaxed);
     }
 
+    /** Lookups whose probe order the EMOMA filter steered (single
+     *  definitive-bucket reads and alternate-first probes alike).
+     *  Relaxed counter, any thread. */
+    std::uint64_t
+    filterSteers() const
+    {
+        return filterSteers_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Test hooks: hold / release the seqlock of @p key's primary bucket
      * as a writer would mid-mutation, so tests can pin a reader in its
@@ -454,6 +465,9 @@ class CuckooHashTable
     bool concurrent_ = false;
     SeqlockArray seq_;
     mutable std::atomic<std::uint64_t> seqRetries_{0};
+    /// Filter-steered lookups (see filterSteers()). Relaxed; bulk
+    /// paths batch their increments into one add per call.
+    mutable std::atomic<std::uint64_t> filterSteers_{0};
 };
 
 } // namespace halo

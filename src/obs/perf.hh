@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Hardware-truth performance counters for the host dataplane.
+ *
+ * The simulator counts *simulated* bucket reads; this layer closes the
+ * loop against real silicon. A PerfCounterGroup opens one
+ * perf_event_open(2) group per thread — cycles, instructions,
+ * LLC-load-misses, dTLB-load-misses, branch-misses — read with
+ * PERF_FORMAT_GROUP so all five come back from a single syscall,
+ * coherently, together with time_enabled/time_running for
+ * multiplex-aware scaling (when the kernel rotates more events than
+ * the PMU has counters, raw deltas are scaled by
+ * enabled/running — the standard perf estimate).
+ *
+ * Attribution mirrors the tracing layer: HALO_PERF_SCOPE(name) is an
+ * RAII scope that charges its dynamic extent to a named pipeline stage
+ * ("vswitch/burst_emc", "revalidator/sweep", ...). Because a PMU group
+ * read is a syscall (~1 µs), a scope never reads the group on every
+ * entry; it always accumulates an rdtsc delta (a few ns) and samples
+ * the full group once per 2^sampleShift entries per stage. Reports
+ * scale the sampled event totals back up by entries/sampledEntries.
+ *
+ * Degraded mode: perf_event_open fails with EPERM/EACCES under the
+ * default perf_event_paranoid in containers and with ENOENT/ENOSYS
+ * where the PMU or syscall is missing. The group then degrades to
+ * rdtsc-only — scopes still account entries and TSC cycles, event
+ * totals stay zero, and degraded() is surfaced as `perf_degraded` in
+ * every report so a CI run can assert it completed cleanly without
+ * hardware counters.
+ *
+ * Threading contract (mirrors TraceRecorder): exactly one thread —
+ * the one that called installThisThread()/openThisThread() — enters
+ * scopes on a recorder; the per-stage totals are relaxed atomics so
+ * any other thread (sampler, Prometheus exporter) may snapshot a live
+ * recorder without locks.
+ *
+ * Compile-time gate: HALO_PERF_ENABLED (CMake option HALO_PERF)
+ * removes every HALO_PERF_SCOPE at preprocessing time so OFF builds
+ * pay literally zero.
+ */
+
+#ifndef HALO_OBS_PERF_HH
+#define HALO_OBS_PERF_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#ifndef HALO_PERF_ENABLED
+#define HALO_PERF_ENABLED 1
+#endif
+
+namespace halo::obs {
+
+/** Events in the group, in opening (and read-back) order. */
+enum class PerfEvent : unsigned {
+    Cycles = 0,
+    Instructions,
+    LlcLoadMisses,
+    DtlbLoadMisses,
+    BranchMisses,
+};
+
+inline constexpr unsigned numPerfEvents = 5;
+
+/** Stable snake_case name for JSON keys / metric names. */
+const char *perfEventName(unsigned event);
+
+/** True when HALO_PERF_SCOPE sites were compiled in. */
+constexpr bool
+perfCompiledIn()
+{
+#if HALO_PERF_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Monotonic cycle source for the always-on half of a scope: rdtsc on
+ * x86-64 (constant_tsc on anything this runs on), the generic-timer
+ * timebase on aarch64, steady_clock nanoseconds elsewhere. Units are
+ * therefore "TSC cycles" loosely — comparable within a run on one
+ * host, not across hosts.
+ */
+std::uint64_t perfTscNow();
+
+/** One coherent read of the whole group. */
+struct PerfGroupReading
+{
+    /// False in degraded mode (raw/time fields are zero then).
+    bool hwValid = false;
+    std::uint64_t timeEnabled = 0; ///< ns the group was scheduled-or-waiting
+    std::uint64_t timeRunning = 0; ///< ns the group was actually counting
+    std::array<std::uint64_t, numPerfEvents> raw{};
+};
+
+/**
+ * Multiplex-aware delta: raw deltas scaled by
+ * (timeEnabled delta / timeRunning delta), the standard perf(1)
+ * estimate for rotated groups. Returns zeros when either reading is
+ * invalid or no running time elapsed.
+ */
+std::array<std::uint64_t, numPerfEvents>
+perfScaledDelta(const PerfGroupReading &before,
+                const PerfGroupReading &after);
+
+/**
+ * One per-thread perf_event_open group over the five events above.
+ *
+ * Open on the thread you want measured (pid=0, cpu=-1: this thread,
+ * any CPU). If any event fails to open the whole group degrades —
+ * partial groups would silently skew ratios like instructions/cycle.
+ */
+class PerfCounterGroup
+{
+  public:
+    /**
+     * Injectable open syscall for tests: receives the perf event
+     * (type, config) and the group leader fd (-1 for the leader),
+     * returns a new fd >= 0 or a negative errno. Default ({}) is the
+     * real perf_event_open on Linux and -ENOSYS elsewhere.
+     */
+    using OpenFn =
+        std::function<int(std::uint32_t type, std::uint64_t config,
+                          int group_fd)>;
+
+    /** Opens the group for the *calling* thread. */
+    explicit PerfCounterGroup(OpenFn open_fn = {});
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** True when the group could not be opened (rdtsc-only mode). */
+    bool degraded() const { return degraded_; }
+    /** errno of the first failed open (0 when not degraded). */
+    int degradedErrno() const { return degradedErrno_; }
+
+    /** One read() syscall for all five events; hwValid=false when
+     *  degraded. Owner thread (or any thread — the fds are stable). */
+    PerfGroupReading read() const;
+
+  private:
+    std::array<int, numPerfEvents> fds_;
+    bool degraded_ = true;
+    int degradedErrno_ = 0;
+};
+
+/** Ceiling on distinct attribution stages (ids are dense u16). */
+inline constexpr std::size_t maxPerfStages = 128;
+
+/**
+ * Interns a stage name into the process-global stage table; returns a
+ * dense id. Idempotent per name (string compare), so pre-registering
+ * canonical names and the macro's static-local interning agree on
+ * ids. Thread-safe; call sites amortize it behind a static local.
+ */
+std::uint16_t internPerfStage(const char *name);
+/** Number of stages interned so far. */
+std::size_t perfStageCount();
+/** Name for an interned id (asserts on out-of-range). */
+const char *perfStageName(std::uint16_t id);
+
+/** Plain per-stage totals, snapshotted or merged for reports. */
+struct PerfStageTotals
+{
+    std::string stage;
+    std::uint64_t entries = 0;        ///< scope entries
+    std::uint64_t tscCycles = 0;      ///< Σ rdtsc deltas (all entries)
+    std::uint64_t sampledEntries = 0; ///< entries with a group read
+    /// Multiplex-scaled event deltas over the *sampled* entries only.
+    std::array<std::uint64_t, numPerfEvents> events{};
+
+    /** Sampled totals scaled up to all entries (the report number). */
+    double estimatedEvents(unsigned event) const;
+};
+
+/**
+ * Per-thread stage accumulator behind HALO_PERF_SCOPE.
+ *
+ * Construct anywhere (the owning Runtime usually does it while still
+ * single-threaded), then openThisThread() from the measured thread —
+ * perf_event_open counts the *calling* thread, so the group cannot be
+ * opened in the constructor. installThisThread()/current() mirror
+ * TraceRecorder's TLS slot.
+ */
+class PerfRecorder
+{
+  public:
+    /** @param sample_shift group-read sampling: one full PMU read per
+     *         2^shift scope entries per stage (0 = every entry). */
+    explicit PerfRecorder(unsigned sample_shift = 6,
+                          PerfCounterGroup::OpenFn open_fn = {});
+
+    PerfRecorder(const PerfRecorder &) = delete;
+    PerfRecorder &operator=(const PerfRecorder &) = delete;
+
+    /** Open the PMU group for the calling thread. Safe to call once
+     *  from the measured thread; before it the recorder is degraded
+     *  (scopes still count entries and TSC). */
+    void openThisThread();
+
+    /** Any thread. True until openThisThread() succeeds. */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+    /** errno of the failed open (0 when healthy / not yet opened). */
+    int degradedErrno() const
+    {
+        return degradedErrno_.load(std::memory_order_relaxed);
+    }
+
+    unsigned sampleShift() const { return sampleShift_; }
+
+    /** @name Owner-thread hot path (used by PerfScope) */
+    /**@{*/
+    bool shouldSample(std::uint16_t stage) const;
+    PerfGroupReading readGroup() const;
+    /** Charge one scope exit: always entries+tsc; when @p sampled,
+     *  also the multiplex-scaled event delta since @p before. */
+    void accumulate(std::uint16_t stage, std::uint64_t tsc_delta,
+                    bool sampled, const PerfGroupReading &before);
+    /**@}*/
+
+    /** Test/report hook: inject one pre-scaled sample (any thread
+     *  while the owner is quiescent). */
+    void addSample(std::uint16_t stage, std::uint64_t tsc_delta,
+                   const std::array<std::uint64_t, numPerfEvents>
+                       *events = nullptr);
+
+    /** Any thread: relaxed snapshot of one stage's totals. */
+    PerfStageTotals stage(std::uint16_t id) const;
+
+    /** TLS slot, mirroring TraceRecorder::installThisThread(). */
+    static PerfRecorder *installThisThread(PerfRecorder *recorder);
+    static PerfRecorder *current();
+
+  private:
+    struct StageTotals
+    {
+        std::atomic<std::uint64_t> entries{0};
+        std::atomic<std::uint64_t> tscCycles{0};
+        std::atomic<std::uint64_t> sampledEntries{0};
+        std::array<std::atomic<std::uint64_t>, numPerfEvents> events{};
+    };
+
+    std::array<StageTotals, maxPerfStages> stages_;
+    std::unique_ptr<PerfCounterGroup> group_; ///< set by openThisThread
+    PerfCounterGroup::OpenFn openFn_;
+    unsigned sampleShift_;
+    std::uint64_t sampleMask_;
+    std::atomic<bool> degraded_{true};
+    std::atomic<int> degradedErrno_{0};
+};
+
+/**
+ * Snapshot every interned stage with nonzero entries (relaxed reads;
+ * safe against a live owner thread). Sorted by stage name.
+ */
+std::vector<PerfStageTotals> perfSnapshotStages(const PerfRecorder &rec);
+
+/** Merge @p from into @p into by stage name (report aggregation). */
+void perfMergeStages(std::vector<PerfStageTotals> &into,
+                     const std::vector<PerfStageTotals> &from);
+
+/** RAII stage scope; all cost gated on an installed recorder. */
+class PerfScope
+{
+  public:
+    explicit PerfScope(std::uint16_t stage)
+        : rec_(PerfRecorder::current()), stage_(stage)
+    {
+        if (!rec_)
+            return;
+        sampled_ = rec_->shouldSample(stage_);
+        if (sampled_)
+            before_ = rec_->readGroup();
+        tsc0_ = perfTscNow();
+    }
+
+    ~PerfScope()
+    {
+        if (!rec_)
+            return;
+        rec_->accumulate(stage_, perfTscNow() - tsc0_, sampled_,
+                         before_);
+    }
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+  private:
+    PerfRecorder *rec_;
+    std::uint16_t stage_;
+    bool sampled_ = false;
+    std::uint64_t tsc0_ = 0;
+    PerfGroupReading before_;
+};
+
+} // namespace halo::obs
+
+#define HALO_PERF_CONCAT_IMPL(a, b) a##b
+#define HALO_PERF_CONCAT(a, b) HALO_PERF_CONCAT_IMPL(a, b)
+
+#if HALO_PERF_ENABLED
+/**
+ * Charge the rest of the enclosing block to pipeline stage @p name.
+ * Compiled out entirely when HALO_PERF_ENABLED is 0; with no
+ * PerfRecorder installed on the thread it costs one TLS load and a
+ * branch.
+ */
+#define HALO_PERF_SCOPE(name)                                             \
+    static const std::uint16_t HALO_PERF_CONCAT(halo_perf_id_,            \
+                                                __LINE__) =               \
+        ::halo::obs::internPerfStage(name);                               \
+    ::halo::obs::PerfScope HALO_PERF_CONCAT(halo_perf_scope_, __LINE__)(  \
+        HALO_PERF_CONCAT(halo_perf_id_, __LINE__))
+#else
+#define HALO_PERF_SCOPE(name) ((void)0)
+#endif
+
+#endif // HALO_OBS_PERF_HH

@@ -1,0 +1,180 @@
+#include "obs/prom_http.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HALO_PROM_HTTP_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define HALO_PROM_HTTP_SOCKETS 0
+#endif
+
+namespace halo::obs {
+
+PromHttpExporter::PromHttpExporter(Options options, RenderFn render_fn)
+    : opts_(std::move(options)), render_(std::move(render_fn))
+{
+}
+
+PromHttpExporter::~PromHttpExporter()
+{
+    stop();
+}
+
+bool
+PromHttpExporter::start()
+{
+#if !HALO_PROM_HTTP_SOCKETS
+    lastError_ = "sockets unavailable on this platform";
+    return false;
+#else
+    if (thread_.joinable())
+        return true;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        lastError_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts_.port);
+    if (::inet_pton(AF_INET, opts_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        lastError_ = "bad bind address: " + opts_.bindAddress;
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        lastError_ = std::string("bind: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 8) < 0) {
+        lastError_ = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &blen) == 0)
+        boundPort_ = ntohs(bound.sin_port);
+
+    listenFd_ = fd;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { threadMain(); });
+    return true;
+#endif
+}
+
+void
+PromHttpExporter::stop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+#if HALO_PROM_HTTP_SOCKETS
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+#endif
+}
+
+void
+PromHttpExporter::threadMain()
+{
+#if HALO_PROM_HTTP_SOCKETS
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd p;
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        p.revents = 0;
+        // 100 ms poll timeout bounds the stop() latency.
+        const int rc = ::poll(&p, 1, 100);
+        if (rc <= 0 || !(p.revents & POLLIN))
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        serveClient(client);
+        ::close(client);
+    }
+#endif
+}
+
+void
+PromHttpExporter::serveClient(int client_fd)
+{
+#if HALO_PROM_HTTP_SOCKETS
+    // Read until the end of the request head (or 4 KiB / 500 ms —
+    // scrape requests are tiny, anything bigger is not for us).
+    char buf[4096];
+    std::size_t got = 0;
+    while (got < sizeof(buf) - 1) {
+        pollfd p;
+        p.fd = client_fd;
+        p.events = POLLIN;
+        p.revents = 0;
+        if (::poll(&p, 1, 500) <= 0)
+            break;
+        const ssize_t n =
+            ::recv(client_fd, buf + got, sizeof(buf) - 1 - got, 0);
+        if (n <= 0)
+            break;
+        got += static_cast<std::size_t>(n);
+        buf[got] = '\0';
+        if (std::strstr(buf, "\r\n\r\n") ||
+            std::strstr(buf, "\n\n"))
+            break;
+    }
+    buf[got] = '\0';
+
+    std::string body;
+    const char *status = "404 Not Found";
+    const char *content_type = "text/plain; charset=utf-8";
+    if (std::strncmp(buf, "GET /metrics", 12) == 0 &&
+        (buf[12] == ' ' || buf[12] == '?')) {
+        status = "200 OK";
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = render_ ? render_() : std::string();
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        body = "only GET /metrics is served here\n";
+    }
+
+    std::string head = "HTTP/1.1 ";
+    head += status;
+    head += "\r\nContent-Type: ";
+    head += content_type;
+    head += "\r\nContent-Length: " + std::to_string(body.size());
+    head += "\r\nConnection: close\r\n\r\n";
+
+    const std::string response = head + body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+        const ssize_t n = ::send(client_fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+#else
+    (void)client_fd;
+#endif
+}
+
+} // namespace halo::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal Prometheus scrape endpoint.
+ *
+ * A PromHttpExporter runs one background thread serving
+ * `GET /metrics` over plain HTTP/1.1 from a render callback —
+ * typically MetricsRegistry::renderPrometheus over a registry whose
+ * attached sources are live relaxed atomics, so a real Prometheus can
+ * scrape a running Runtime without stopping it.
+ *
+ * Scope is deliberately tiny: raw POSIX sockets, loopback bind by
+ * default, one request per connection, `Connection: close`. This is
+ * an observability sidecar for benches and demos, not a web server —
+ * anything beyond GET /metrics gets a 404.
+ *
+ * Threading: render_fn runs on the exporter thread, concurrently with
+ * the measured threads; it must restrict itself to the stats layer's
+ * any-thread contract (relaxed-atomic counter reads). start()/stop()
+ * are caller-thread; stop() joins.
+ */
+
+#ifndef HALO_OBS_PROM_HTTP_HH
+#define HALO_OBS_PROM_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace halo::obs {
+
+class PromHttpExporter
+{
+  public:
+    using RenderFn = std::function<std::string()>;
+
+    struct Options
+    {
+        /// TCP port; 0 binds an ephemeral port (see port()).
+        std::uint16_t port = 0;
+        /// Loopback by default; set "0.0.0.0" to expose off-host.
+        std::string bindAddress = "127.0.0.1";
+    };
+
+    PromHttpExporter(Options options, RenderFn render_fn);
+    ~PromHttpExporter(); ///< stops and joins if still running
+
+    PromHttpExporter(const PromHttpExporter &) = delete;
+    PromHttpExporter &operator=(const PromHttpExporter &) = delete;
+
+    /** Bind, listen, and spawn the serving thread.
+     *  @return false on socket/bind failure (see lastError()). */
+    bool start();
+
+    /** Stop serving and join the thread. Idempotent. */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    /** The bound port — the actual one when Options::port was 0.
+     *  Valid after a successful start(). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /** Scrapes served so far (any thread, relaxed). */
+    std::uint64_t scrapesServed() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+    /** Human-readable reason for a failed start(). */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    void threadMain();
+    void serveClient(int client_fd);
+
+    Options opts_;
+    RenderFn render_;
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::string lastError_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+};
+
+} // namespace halo::obs
+
+#endif // HALO_OBS_PROM_HTTP_HH

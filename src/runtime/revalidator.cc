@@ -20,6 +20,8 @@ Revalidator::Revalidator(const RevalidatorConfig &config,
         std::min<std::size_t>(cfg.maxTrackedFlows, 1u << 16));
     if (cfg.traceCapacity)
         trace_ = std::make_unique<obs::TraceRecorder>(cfg.traceCapacity);
+    if (cfg.perfEnabled && obs::perfCompiledIn())
+        perf_ = std::make_unique<obs::PerfRecorder>(cfg.perfSampleShift);
 }
 
 Revalidator::~Revalidator()
@@ -75,6 +77,11 @@ Revalidator::threadMain()
 
     obs::TraceRecorder *prev_rec =
         obs::TraceRecorder::installThisThread(trace_.get());
+    obs::PerfRecorder *prev_perf = nullptr;
+    if (perf_) {
+        perf_->openThisThread();
+        prev_perf = obs::PerfRecorder::installThisThread(perf_.get());
+    }
 
     auto next_sweep = SteadyClock::now() + sweep_interval;
     while (true) {
@@ -82,6 +89,7 @@ Revalidator::threadMain()
             ring_.popBatch(drainBuf_.data(), drainBuf_.size());
         if (n) {
             HALO_TRACE_SCOPE("revalidator/drain");
+            HALO_PERF_SCOPE("revalidator/drain");
             for (std::size_t i = 0; i < n; ++i)
                 handle(drainBuf_[i]);
             upcallsProcessed_.add(n);
@@ -103,6 +111,8 @@ Revalidator::threadMain()
     }
 
     obs::TraceRecorder::installThisThread(prev_rec);
+    if (perf_)
+        obs::PerfRecorder::installThisThread(prev_perf);
 }
 
 void
@@ -119,6 +129,7 @@ void
 Revalidator::handleMiss(const UpcallRequest &rq)
 {
     HALO_TRACE_SCOPE("revalidator/upcall");
+    HALO_PERF_SCOPE("revalidator/upcall");
     const ShardHooks &s = shards_[rq.worker];
     const auto key = rq.tuple.toKey();
     TupleSpace &tuples = s.vswitch->tupleSpace();
@@ -163,6 +174,7 @@ void
 Revalidator::handlePromote(const UpcallRequest &rq)
 {
     HALO_TRACE_SCOPE("revalidator/promote");
+    HALO_PERF_SCOPE("revalidator/promote");
     const ShardHooks &s = shards_[rq.worker];
     const auto key = rq.tuple.toKey();
     const std::span<const std::uint8_t, FiveTuple::keyBytes> key_span(
@@ -223,6 +235,7 @@ void
 Revalidator::sweep()
 {
     HALO_TRACE_SCOPE("revalidator/sweep");
+    HALO_PERF_SCOPE("revalidator/sweep");
     sweeps_.add(1);
     for (const ShardHooks &s : shards_) {
         s.activity->advanceEpoch();

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "flow/flow_activity.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "runtime/mpsc_ring.hh"
 #include "runtime/upcall.hh"
@@ -67,6 +68,10 @@ struct RevalidatorConfig
     /// Trace-event ring slots for the revalidator's TraceRecorder
     /// (0 = no recorder).
     std::size_t traceCapacity = 0;
+    /// Install a PerfRecorder on the revalidator thread (see
+    /// WorkerConfig::perfEnabled).
+    bool perfEnabled = false;
+    unsigned perfSampleShift = 6;
 };
 
 /** Plain snapshot of the revalidator's published counters. */
@@ -134,6 +139,12 @@ class Revalidator
         return trace_.get();
     }
 
+    /** Null unless cfg.perfEnabled; live snapshots are safe. */
+    const obs::PerfRecorder *perfRecorder() const
+    {
+        return perf_.get();
+    }
+
   private:
     struct TrackedFlow
     {
@@ -174,6 +185,7 @@ class Revalidator
     std::size_t evictCursor_ = 0;       ///< round-robin cap eviction
     std::vector<UpcallRequest> drainBuf_; ///< revalidator thread only
     std::unique_ptr<obs::TraceRecorder> trace_;
+    std::unique_ptr<obs::PerfRecorder> perf_;
 };
 
 } // namespace halo

@@ -36,6 +36,8 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         wc.classifyBurst = cfg.classifyBurst;
         wc.warmTables = cfg.warmTables;
         wc.traceCapacity = cfg.traceCapacity;
+        wc.perfEnabled = cfg.perfEnabled;
+        wc.perfSampleShift = cfg.perfSampleShift;
         if (cfg.decoupled) {
             // The burst prepass-replay assumes tables quiesce between
             // prepass and replay; the revalidator writes concurrently,
@@ -80,6 +82,8 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         RevalidatorConfig rc = cfg.revalidator;
         if (!rc.traceCapacity)
             rc.traceCapacity = cfg.traceCapacity;
+        rc.perfEnabled = cfg.perfEnabled;
+        rc.perfSampleShift = cfg.perfSampleShift;
         reval_ = std::make_unique<Revalidator>(rc, *upcallRing_,
                                                std::move(hooks));
     }
@@ -196,6 +200,215 @@ Runtime::snapshot() const
     return s;
 }
 
+namespace {
+
+/**
+ * Canonical HALO_PERF_SCOPE stage names, pre-interned before metric
+ * attachment so the per-stage series exist (at zero) even for stages
+ * whose first scope has not run yet. The macro's static-local
+ * interning returns the same ids (interning is idempotent by name).
+ */
+const char *const kPerfStagePreset[] = {
+    "worker/batch",        "worker/offload",
+    "vswitch/upcall",      "vswitch/burst_prepass",
+    "vswitch/burst_emc",   "vswitch/burst_tss",
+    "vswitch/emc",         "vswitch/tuple_space",
+    "vswitch/cuckoo",      "revalidator/drain",
+    "revalidator/upcall",  "revalidator/promote",
+    "revalidator/sweep",
+};
+
+/** Attach one PerfRecorder's per-stage series under @p labels. */
+void
+registerPerfRecorder(obs::MetricsRegistry &reg,
+                     const obs::PerfRecorder &rec,
+                     const obs::MetricLabels &labels)
+{
+    reg.attach("halo_perf_degraded", labels, obs::MetricKind::Gauge,
+               [&rec] { return rec.degraded() ? 1.0 : 0.0; });
+    const std::size_t stages = obs::perfStageCount();
+    for (std::size_t s = 0; s < stages; ++s) {
+        const auto id = static_cast<std::uint16_t>(s);
+        obs::MetricLabels l = labels;
+        l.emplace_back("stage", obs::perfStageName(id));
+        reg.attach("halo_perf_stage_entries", l,
+                   obs::MetricKind::Counter, [&rec, id] {
+                       return static_cast<double>(
+                           rec.stage(id).entries);
+                   });
+        reg.attach("halo_perf_stage_tsc_cycles", l,
+                   obs::MetricKind::Counter, [&rec, id] {
+                       return static_cast<double>(
+                           rec.stage(id).tscCycles);
+                   });
+        for (unsigned e = 0; e < obs::numPerfEvents; ++e) {
+            reg.attach(std::string("halo_perf_stage_") +
+                           obs::perfEventName(e),
+                       l, obs::MetricKind::Counter, [&rec, id, e] {
+                           return rec.stage(id).estimatedEvents(e);
+                       });
+        }
+    }
+}
+
+} // namespace
+
+void
+Runtime::registerMetrics(obs::MetricsRegistry &reg)
+{
+    reg.attachCounter("halo_rt_offered", {}, offered_);
+    reg.attachCounter("halo_rt_enqueued", {}, enqueued_);
+    reg.attachCounter("halo_rt_ring_full_drops", {}, drops_);
+
+    // Megaflow-table sums are attached only while the tuple vector is
+    // guaranteed stable for the whole run: decoupled mode pre-creates
+    // the exact tuple (single-writer protocol), and plain fast-path
+    // mode never installs at runtime. Inline-upcall mode may grow the
+    // vector on the worker thread, which a render-time walk must not
+    // race.
+    const bool tables_stable =
+        cfg.decoupled || !cfg.shard.vswitch.useOpenflowLayer;
+
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker *w = workers_[i].get();
+        const obs::MetricLabels l = {{"worker", std::to_string(i)}};
+        reg.attach("halo_worker_packets", l, obs::MetricKind::Counter,
+                   [w] {
+                       return static_cast<double>(
+                           w->counters().packets);
+                   });
+        reg.attach("halo_worker_batches", l, obs::MetricKind::Counter,
+                   [w] {
+                       return static_cast<double>(
+                           w->counters().batches);
+                   });
+        reg.attach("halo_worker_matched", l, obs::MetricKind::Counter,
+                   [w] {
+                       return static_cast<double>(
+                           w->counters().matched);
+                   });
+        reg.attach("halo_worker_emc_hits", l,
+                   obs::MetricKind::Counter, [w] {
+                       return static_cast<double>(
+                           w->counters().emcHits);
+                   });
+        reg.attach("halo_worker_busy_nanos", l,
+                   obs::MetricKind::Counter, [w] {
+                       return static_cast<double>(
+                           w->counters().busyNanos);
+                   });
+        reg.attach("halo_worker_upcalls_enqueued", l,
+                   obs::MetricKind::Counter, [w] {
+                       return static_cast<double>(
+                           w->counters().upcallsEnqueued);
+                   });
+        reg.attach("halo_worker_promotes_enqueued", l,
+                   obs::MetricKind::Counter, [w] {
+                       return static_cast<double>(
+                           w->counters().promotesEnqueued);
+                   });
+        reg.attach("halo_worker_upcall_drops", l,
+                   obs::MetricKind::Counter, [w] {
+                       return static_cast<double>(
+                           w->counters().upcallDrops);
+                   });
+        reg.attach("halo_worker_ring_depth", l,
+                   obs::MetricKind::Gauge, [w] {
+                       return static_cast<double>(w->ring().size());
+                   });
+
+        // Seqlock retries and EMOMA steers live on the tables; sum
+        // them per worker (relaxed counter reads on stable objects).
+        const ExactMatchCache *emc = &w->vswitch().emc();
+        std::vector<const CuckooHashTable *> tables;
+        if (tables_stable) {
+            TupleSpace &ts = w->vswitch().tupleSpace();
+            for (unsigned t = 0; t < ts.numTuples(); ++t)
+                tables.push_back(&ts.table(t));
+        }
+        reg.attach("halo_worker_seqlock_retries", l,
+                   obs::MetricKind::Counter, [emc, tables] {
+                       std::uint64_t sum = emc->seqlockRetries();
+                       for (const CuckooHashTable *t : tables)
+                           sum += t->seqlockRetries();
+                       return static_cast<double>(sum);
+                   });
+        if (tables_stable) {
+            reg.attach("halo_worker_filter_steers", l,
+                       obs::MetricKind::Counter, [tables] {
+                           std::uint64_t sum = 0;
+                           for (const CuckooHashTable *t : tables)
+                               sum += t->filterSteers();
+                           return static_cast<double>(sum);
+                       });
+            reg.attach("halo_worker_filter_degraded", l,
+                       obs::MetricKind::Gauge, [tables] {
+                           for (const CuckooHashTable *t : tables)
+                               if (t->filterDegraded())
+                                   return 1.0;
+                           return 0.0;
+                       });
+        }
+    }
+
+    if (reval_) {
+        reg.attach("halo_upcall_ring_depth", {},
+                   obs::MetricKind::Gauge, [this] {
+                       return static_cast<double>(
+                           upcallRing_->size());
+                   });
+        Revalidator *rv = reval_.get();
+        const struct
+        {
+            const char *name;
+            std::uint64_t RevalidatorCounters::*field;
+        } reval_series[] = {
+            {"halo_reval_upcalls_processed",
+             &RevalidatorCounters::upcallsProcessed},
+            {"halo_reval_dedup_hits", &RevalidatorCounters::dedupHits},
+            {"halo_reval_installs", &RevalidatorCounters::installs},
+            {"halo_reval_install_failures",
+             &RevalidatorCounters::installFailures},
+            {"halo_reval_unresolved",
+             &RevalidatorCounters::unresolved},
+            {"halo_reval_promotes", &RevalidatorCounters::promotes},
+            {"halo_reval_sweeps", &RevalidatorCounters::sweeps},
+            {"halo_reval_aged_flows", &RevalidatorCounters::agedFlows},
+            {"halo_reval_aged_emc", &RevalidatorCounters::agedEmc},
+        };
+        for (const auto &s : reval_series) {
+            auto field = s.field;
+            reg.attach(s.name, {}, obs::MetricKind::Counter,
+                       [rv, field] {
+                           return static_cast<double>(
+                               rv->counters().*field);
+                       });
+        }
+    }
+
+    rss_.registerMetrics(reg);
+
+    // Per-thread, per-stage PMU series. Pre-intern the canonical
+    // stage list so attachment happens before the first scope runs.
+    bool any_perf = false;
+    for (const auto &w : workers_)
+        any_perf |= w->perfRecorder() != nullptr;
+    any_perf |= reval_ && reval_->perfRecorder();
+    if (any_perf) {
+        for (const char *name : kPerfStagePreset)
+            obs::internPerfStage(name);
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (const obs::PerfRecorder *pr =
+                    workers_[i]->perfRecorder())
+                registerPerfRecorder(
+                    reg, *pr, {{"worker", std::to_string(i)}});
+        }
+        if (reval_ && reval_->perfRecorder())
+            registerPerfRecorder(reg, *reval_->perfRecorder(),
+                                 {{"thread", "revalidator"}});
+    }
+}
+
 void
 Runtime::startSampler()
 {
@@ -207,6 +420,13 @@ Runtime::startSampler()
         columns.push_back("worker" + std::to_string(w) + "_ring_depth");
     if (upcallRing_)
         columns.push_back("upcall_ring_depth");
+    if (reval_) {
+        // Revalidator-side series: cumulative microflow installs and
+        // aged-out entries (megaflow + EMC) per sample row, so a churn
+        // run shows install/aging progress, not just worker progress.
+        columns.push_back("reval_installs");
+        columns.push_back("reval_aged_flows");
+    }
     // The sample function runs on the sampler thread and restricts
     // itself to relaxed-atomic reads (published counters, ring
     // indices) per the stats threading contract.
@@ -225,6 +445,12 @@ Runtime::startSampler()
             if (upcallRing_)
                 row.push_back(
                     static_cast<double>(upcallRing_->size()));
+            if (reval_) {
+                const RevalidatorCounters rc = reval_->counters();
+                row.push_back(static_cast<double>(rc.installs));
+                row.push_back(static_cast<double>(rc.agedFlows +
+                                                  rc.agedEmc));
+            }
             return row;
         });
     sampler_->start(
@@ -244,6 +470,7 @@ Runtime::report() const
 {
     RuntimeReport rep;
     rep.aggregate = snapshot();
+    rep.perfEnabled = cfg.perfEnabled && obs::perfCompiledIn();
     rep.workers.reserve(workers_.size());
     for (const auto &w : workers_) {
         WorkerReport wr;
@@ -255,7 +482,20 @@ Runtime::report() const
         wr.batchP99Nanos = wr.batchLatency.percentile(0.99);
         wr.batchP999Nanos = wr.batchLatency.percentile(0.999);
         rep.batchLatency.merge(wr.batchLatency);
+        if (const obs::PerfRecorder *pr = w->perfRecorder()) {
+            wr.perfDegraded = pr->degraded();
+            wr.perfStages = obs::perfSnapshotStages(*pr);
+            rep.perfDegraded |= wr.perfDegraded;
+            obs::perfMergeStages(rep.perfStages, wr.perfStages);
+        }
         rep.workers.push_back(std::move(wr));
+    }
+    if (reval_) {
+        if (const obs::PerfRecorder *pr = reval_->perfRecorder()) {
+            rep.perfDegraded |= pr->degraded();
+            obs::perfMergeStages(rep.perfStages,
+                                 obs::perfSnapshotStages(*pr));
+        }
     }
     rep.batchP50Nanos = rep.batchLatency.percentile(0.50);
     rep.batchP90Nanos = rep.batchLatency.percentile(0.90);

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "net/traffic_gen.hh"
+#include "obs/metrics.hh"
+#include "obs/perf.hh"
 #include "obs/sampler.hh"
 #include "runtime/revalidator.hh"
 #include "runtime/rss.hh"
@@ -85,6 +87,18 @@ struct RuntimeConfig
      */
     bool decoupled = false;
     RevalidatorConfig revalidator;
+    /**
+     * Per-thread PMU attribution (HALO_PERF_SCOPE): every worker and
+     * the revalidator get a PerfRecorder whose perf_event_open group
+     * is opened on the owning thread. Open failure (EPERM/ENOENT in
+     * containers) degrades to rdtsc-only stage cycles and sets
+     * RuntimeReport::perfDegraded. No effect when the HALO_PERF CMake
+     * option compiled the scopes out.
+     */
+    bool perfEnabled = false;
+    /// One full PMU group read (a syscall) per 2^shift scope entries
+    /// per stage; reports scale sampled events back up.
+    unsigned perfSampleShift = 6;
     /// See WorkerConfig::promoteSampleShift.
     unsigned promoteSampleShift = 3;
     /// Slow-path rules installed into every shard's OpenFlow layer
@@ -126,6 +140,11 @@ struct WorkerReport
     double batchP90Nanos = 0.0;
     double batchP99Nanos = 0.0;
     double batchP999Nanos = 0.0;
+    /// @name PMU attribution (empty unless cfg.perfEnabled)
+    /**@{*/
+    bool perfDegraded = false;
+    std::vector<obs::PerfStageTotals> perfStages;
+    /**@}*/
 };
 
 struct RuntimeReport
@@ -139,11 +158,20 @@ struct RuntimeReport
     double batchP99Nanos = 0.0;
     double batchP999Nanos = 0.0;
     /// Sampler time series (empty unless samplerIntervalMicros > 0).
-    /// Columns: offered, processed, ring_full_drops, then one
-    /// worker<i>_ring_depth per worker.
+    /// Columns: offered, processed, ring_full_drops, one
+    /// worker<i>_ring_depth per worker, then (decoupled only)
+    /// upcall_ring_depth, reval_installs, reval_aged_flows.
     obs::SampleSeries samples;
     /// Producer start → drain end; only set by run().
     double wallSeconds = 0.0;
+    /// @name PMU attribution, merged across workers + revalidator
+    /// (empty unless cfg.perfEnabled and HALO_PERF compiled in)
+    /**@{*/
+    bool perfEnabled = false;
+    /// True when any thread's perf_event_open failed (rdtsc-only).
+    bool perfDegraded = false;
+    std::vector<obs::PerfStageTotals> perfStages;
+    /**@}*/
 };
 
 class Runtime
@@ -193,6 +221,21 @@ class Runtime
 
     /** Lock-free aggregate of the published counters; any thread. */
     RuntimeSnapshot snapshot() const;
+
+    /**
+     * Attach this runtime's live telemetry to @p registry: runtime
+     * offered/enqueued/drop counters, per-worker packet/upcall/ring
+     * series, per-worker seqlock-retry and filter-steer sums over the
+     * shard's EMC and megaflow tables, revalidator counters, RSS
+     * rebalance stats, and — when cfg.perfEnabled — per-worker
+     * per-stage PMU series (cycles, LLC misses, ...).
+     *
+     * Every attached source is a relaxed-atomic read, so the registry
+     * may be rendered (e.g. by a PromHttpExporter) while the runtime
+     * is live. The registry must not outlive this Runtime. Call after
+     * construction, any time before or during the run.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry);
 
     /** @name Background sampler (cfg.samplerIntervalMicros > 0)
      *  run() manages the lifecycle itself; manual drivers call these

@@ -51,6 +51,8 @@ Worker::Worker(const WorkerConfig &config, const RuleSet &rules)
         resultBuf_.resize(cfg.batchSize);
     if (cfg.traceCapacity)
         trace_ = std::make_unique<obs::TraceRecorder>(cfg.traceCapacity);
+    if (cfg.perfEnabled && obs::perfCompiledIn())
+        perf_ = std::make_unique<obs::PerfRecorder>(cfg.perfSampleShift);
     if (cfg.upcallRing) {
         recentMiss_.resize(1024);
         rng_ = 0x9e3779b97f4a7c15ull ^ (cfg.id + 1);
@@ -105,6 +107,7 @@ Worker::counters() const
 void
 Worker::offload(const PacketResult &res)
 {
+    HALO_PERF_SCOPE("worker/offload");
     ++packetSeq_;
     if (res.slowPathPending) {
         // Dedup window: while a flow's install is in flight every one
@@ -160,6 +163,13 @@ Worker::threadMain()
     // vswitch pipeline) into the worker's private ring, if configured.
     obs::TraceRecorder *prev_rec =
         obs::TraceRecorder::installThisThread(trace_.get());
+    // Same for HALO_PERF_SCOPE: the PMU group must be opened on the
+    // measured thread (perf_event_open pid=0 counts the caller).
+    obs::PerfRecorder *prev_perf = nullptr;
+    if (perf_) {
+        perf_->openThisThread();
+        prev_perf = obs::PerfRecorder::installThisThread(perf_.get());
+    }
 
     while (true) {
         const std::size_t n =
@@ -179,6 +189,7 @@ Worker::threadMain()
         std::uint64_t emc_hits = 0;
         {
             HALO_TRACE_SCOPE("worker/batch");
+            HALO_PERF_SCOPE("worker/batch");
             if (cfg.classifyBurst > 1) {
                 // Whole ring batches go through the burst pipeline;
                 // the vswitch chunks them to its burstLanes window.
@@ -217,6 +228,8 @@ Worker::threadMain()
     }
 
     obs::TraceRecorder::installThisThread(prev_rec);
+    if (perf_)
+        obs::PerfRecorder::installThisThread(prev_perf);
 }
 
 } // namespace halo

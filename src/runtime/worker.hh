@@ -36,6 +36,7 @@
 #include "flow/flow_activity.hh"
 #include "net/packet.hh"
 #include "obs/histogram.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "runtime/mpsc_ring.hh"
 #include "runtime/spsc_ring.hh"
@@ -80,6 +81,13 @@ struct WorkerConfig
     /// Sample 1-in-2^shift megaflow hits for EMC promotion upcalls
     /// (OVS's probabilistic EMC insertion; 0 = promote every hit).
     unsigned promoteSampleShift = 3;
+    /// Install a PerfRecorder on the worker thread so HALO_PERF_SCOPE
+    /// sites attribute PMU counts to pipeline stages. The PMU group is
+    /// opened on the worker thread itself; open failure degrades to
+    /// rdtsc-only. No effect when HALO_PERF_ENABLED is 0.
+    bool perfEnabled = false;
+    /// One full PMU group read per 2^shift scope entries per stage.
+    unsigned perfSampleShift = 6;
 };
 
 /** Plain snapshot of a worker's published counters. */
@@ -149,6 +157,13 @@ class Worker
     }
     /**@}*/
 
+    /** Null unless cfg.perfEnabled. Live any-thread snapshots are
+     *  safe (the recorder's totals are relaxed atomics). */
+    const obs::PerfRecorder *perfRecorder() const
+    {
+        return perf_.get();
+    }
+
   private:
     void threadMain();
     /** Post-classification hook (decoupled mode): enqueue deferred
@@ -174,6 +189,7 @@ class Worker
 
     obs::HdrHistogram batchHist_;           ///< worker thread only
     std::unique_ptr<obs::TraceRecorder> trace_; ///< worker thread only
+    std::unique_ptr<obs::PerfRecorder> perf_; ///< scopes: worker thread
     std::vector<Packet> batchBuf_;          ///< worker thread only
     std::vector<PacketResult> resultBuf_;   ///< worker thread only
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
@@ -104,6 +105,7 @@ VirtualSwitch::openflowUpcall(const FiveTuple &tuple, PacketResult &res,
                               Cycles &now)
 {
     HALO_TRACE_SCOPE("vswitch/upcall");
+    HALO_PERF_SCOPE("vswitch/upcall");
     // The OpenFlow layer searches EVERY tuple and keeps the highest
     // priority match (paper SS2.2) — strictly slower than MegaFlow.
     const auto key = tuple.toKey();
@@ -318,6 +320,7 @@ VirtualSwitch::burstChunkSoftware(std::span<const FiveTuple> batch,
     //     prices them against the core model in packet order. ---
     {
         HALO_TRACE_SCOPE("vswitch/burst_prepass");
+        HALO_PERF_SCOPE("vswitch/burst_prepass");
         const std::uint8_t *key_ptrs[maxBulkLanes];
         for (std::size_t i = 0; i < n; ++i) {
             SoftLane &ln = burst.lanes[i];
@@ -333,6 +336,7 @@ VirtualSwitch::burstChunkSoftware(std::span<const FiveTuple> batch,
         std::uint32_t emc_hits = 0;
         if (cfg.useEmc) {
             HALO_TRACE_SCOPE("vswitch/burst_emc");
+            HALO_PERF_SCOPE("vswitch/burst_emc");
             std::uint64_t values[maxBulkLanes];
             std::uint64_t slots[maxBulkLanes][2];
             AccessTrace *traces[maxBulkLanes];
@@ -355,6 +359,7 @@ VirtualSwitch::burstChunkSoftware(std::span<const FiveTuple> batch,
         // Tuple-space walk for the EMC misses, all lanes in flight.
         {
             HALO_TRACE_SCOPE("vswitch/burst_tss");
+            HALO_PERF_SCOPE("vswitch/burst_tss");
             const std::uint8_t *walk_keys[maxBulkLanes];
             TupleSpace::BulkWalkLane *walk_lanes[maxBulkLanes];
             unsigned lane_of[maxBulkLanes];
@@ -593,6 +598,7 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
     // --- EMC probe. ---
     if (cfg.useEmc) {
         HALO_TRACE_SCOPE("vswitch/emc");
+        HALO_PERF_SCOPE("vswitch/emc");
         bool hit = false;
         std::uint64_t hit_value = 0;
         const AccessTrace *refs = nullptr;
@@ -632,6 +638,7 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
     std::optional<TupleMatch> match;
     {
         HALO_TRACE_SCOPE("vswitch/tuple_space");
+        HALO_PERF_SCOPE("vswitch/tuple_space");
         OpTrace &ops = opScratch;
         ops.clear();
         unsigned searched = 0;
@@ -659,6 +666,7 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
                 std::optional<std::uint64_t> value;
                 {
                     HALO_TRACE_SCOPE("vswitch/cuckoo");
+                    HALO_PERF_SCOPE("vswitch/cuckoo");
                     value = tuples.table(t).lookup(
                         KeyView(maskScratch.data(), maskScratch.size()),
                         &refScratch);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -166,6 +167,56 @@ TEST(WriteChromeTrace, EmitsWellFormedJson)
     EXPECT_NE(json.find("worker0"), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
     EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(WriteChromeTrace, DrainConcurrentWithLiveRecorderIsClean)
+{
+    // The contract is per-recorder: drain a recorder only after its
+    // owner thread joined. Another thread recording into its *own*
+    // ring — and interning names, the one shared structure — must not
+    // race the drain. TSan builds verify exactly that.
+    TraceRecorder joined(64);
+    {
+        std::thread t([&joined] {
+            ScopedInstall install(&joined);
+            const std::uint16_t id =
+                internTraceName("test/joined_span");
+            for (int i = 0; i < 32; ++i)
+                joined.record(id, static_cast<std::uint64_t>(i) * 10,
+                              static_cast<std::uint64_t>(i) * 10 + 5);
+        });
+        t.join();
+    }
+
+    TraceRecorder live(64);
+    std::thread writer([&live] {
+        ScopedInstall install(&live);
+        // Interning stores the pointer, so names must be literals;
+        // cycling through several keeps the interning mutex hot under
+        // the concurrent drains below.
+        static const char *const kNames[] = {
+            "test/live_span_0", "test/live_span_1",
+            "test/live_span_2", "test/live_span_3"};
+        for (int spin = 0; spin < 20000; ++spin) {
+            const std::uint16_t id = internTraceName(kNames[spin & 3]);
+            TraceScope scope(id);
+        }
+    });
+
+    for (int pass = 0; pass < 8; ++pass) {
+        const TraceThread threads[] = {{&joined, "joined", 1}};
+        std::ostringstream os;
+        writeChromeTrace(os, threads);
+        EXPECT_NE(os.str().find("test/joined_span"), std::string::npos);
+    }
+    writer.join();
+
+    // Now the live thread has quiesced too; both rings drain together.
+    const TraceThread threads[] = {{&joined, "joined", 1},
+                                   {&live, "live", 2}};
+    std::ostringstream os;
+    writeChromeTrace(os, threads);
+    EXPECT_NE(os.str().find("test/live_span_0"), std::string::npos);
 }
 
 TEST(WriteChromeTrace, EmptyRecorderStillValid)
