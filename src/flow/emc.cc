@@ -1,5 +1,6 @@
 #include "flow/emc.hh"
 
+#include <bit>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -14,6 +15,14 @@ constexpr std::uint64_t genOffset = 4;
 constexpr std::uint64_t keyOffset = 8;
 constexpr std::uint64_t valueOffset = 24;
 
+/** Signature-compare mask: managed mode keeps only the low 16 bits of
+ *  the signature word (the high 16 carry the insert epoch). */
+constexpr std::uint32_t
+sigCompareMask(bool managed)
+{
+    return managed ? 0xffffu : ~0u;
+}
+
 } // namespace
 
 ExactMatchCache::ExactMatchCache(SimMemory &memory, std::uint64_t entries,
@@ -21,8 +30,9 @@ ExactMatchCache::ExactMatchCache(SimMemory &memory, std::uint64_t entries,
     : mem(memory), numEntries(entries), seed_(seed)
 {
     HALO_ASSERT(isPowerOfTwo(entries), "EMC entry count: power of two");
-    base = mem.allocate(entries * slotBytes, cacheLineBytes);
+    base = mem.allocate(entries * slotBytes, cacheLineBytes, "EMC slots");
     mem.zero(base, entries * slotBytes);
+    activeMask_.store(entries - 1, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -41,8 +51,10 @@ ExactMatchCache::lookupConcurrent(
 {
     const std::uint64_t h = hashKey(key);
     const std::uint32_t sig = shortSignature(h);
-    const std::uint64_t idx[2] = {h & (numEntries - 1),
-                                  (h >> 32) & (numEntries - 1)};
+    const std::uint32_t gen = generation.load(std::memory_order_relaxed);
+    const std::uint32_t sigMask = sigCompareMask(managed_);
+    const std::uint64_t mask = activeMask_.load(std::memory_order_relaxed);
+    const std::uint64_t idx[2] = {h & mask, (h >> 32) & mask};
 
     for (int probe = 0; probe < 2; ++probe) {
         const Addr slot = slotAddr(idx[probe]);
@@ -68,19 +80,21 @@ ExactMatchCache::lookupConcurrent(
         }
         std::uint32_t slot_gen, slot_sig;
         std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
-        if (slot_gen != generation)
+        if (slot_gen != gen)
             continue;
         std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
-        if (slot_sig != sig)
+        if ((slot_sig ^ sig) & sigMask)
             continue;
         if (std::memcmp(view + keyOffset, key.data(), key.size()) == 0) {
             std::uint64_t value;
             std::memcpy(&value, view + valueOffset, sizeof(value));
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return value;
         }
         if (idx[0] == idx[1])
             break;
     }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
 }
 
@@ -94,10 +108,12 @@ ExactMatchCache::lookup(
 
     const std::uint64_t h = hashKey(key);
     const std::uint32_t sig = shortSignature(h);
+    const std::uint32_t gen = generation.load(std::memory_order_relaxed);
+    const std::uint32_t sigMask = sigCompareMask(managed_);
     // Two candidate positions from independent halves of the hash
     // (OVS's EMC_FOR_EACH_POS_WITH_HASH probing).
-    const std::uint64_t idx[2] = {h & (numEntries - 1),
-                                  (h >> 32) & (numEntries - 1)};
+    const std::uint64_t mask = activeMask_.load(std::memory_order_relaxed);
+    const std::uint64_t idx[2] = {h & mask, (h >> 32) & mask};
 
     for (int probe = 0; probe < 2; ++probe) {
         const Addr slot = slotAddr(idx[probe]);
@@ -109,19 +125,21 @@ ExactMatchCache::lookup(
         HALO_ASSERT(view, "EMC slot straddles a page");
         std::uint32_t slot_gen, slot_sig;
         std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
-        if (slot_gen != generation)
+        if (slot_gen != gen)
             continue;
         std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
-        if (slot_sig != sig)
+        if ((slot_sig ^ sig) & sigMask)
             continue;
         if (std::memcmp(view + keyOffset, key.data(), key.size()) == 0) {
             std::uint64_t value;
             std::memcpy(&value, view + valueOffset, sizeof(value));
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return value;
         }
         if (idx[0] == idx[1])
             break;
     }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
 }
 
@@ -133,17 +151,20 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
 {
     HALO_ASSERT(n <= maxBulkLanes, "bulk EMC probe burst too large");
 
+    const std::uint64_t mask = activeMask_.load(std::memory_order_relaxed);
+
     if (concurrent_) [[unlikely]] {
         // Under a concurrent writer every probe must take the
         // seqlock-validated path; lane-at-a-time (the decoupled
         // runtime runs scalar workers, so this is off the hot path).
+        // lookupConcurrent counts the hits/misses.
         std::uint32_t found = 0;
         for (std::size_t i = 0; i < n; ++i) {
             const std::span<const std::uint8_t, FiveTuple::keyBytes> key(
                 keys[i], FiveTuple::keyBytes);
             const std::uint64_t h = hashKey(key);
-            slots[i][0] = h & (numEntries - 1);
-            slots[i][1] = (h >> 32) & (numEntries - 1);
+            slots[i][0] = h & mask;
+            slots[i][1] = (h >> 32) & mask;
             if (const auto v =
                     lookupConcurrent(key, traces ? traces[i] : nullptr)) {
                 values[i] = *v;
@@ -152,6 +173,9 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
         }
         return found;
     }
+
+    const std::uint32_t gen = generation.load(std::memory_order_relaxed);
+    const std::uint32_t sigMask = sigCompareMask(managed_);
 
     struct Lane
     {
@@ -167,8 +191,8 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
             std::span<const std::uint8_t, FiveTuple::keyBytes>(
                 keys[i], FiveTuple::keyBytes));
         ln.sig = shortSignature(h);
-        ln.idx[0] = h & (numEntries - 1);
-        ln.idx[1] = (h >> 32) & (numEntries - 1);
+        ln.idx[0] = h & mask;
+        ln.idx[1] = (h >> 32) & mask;
         slots[i][0] = ln.idx[0];
         slots[i][1] = ln.idx[1];
         // Slot prefetch only pays once the entry array outgrows the
@@ -197,10 +221,10 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
             HALO_ASSERT(view, "EMC slot straddles a page");
             std::uint32_t slot_gen, slot_sig;
             std::memcpy(&slot_gen, view + genOffset, sizeof(slot_gen));
-            if (slot_gen != generation)
+            if (slot_gen != gen)
                 continue;
             std::memcpy(&slot_sig, view + sigOffset, sizeof(slot_sig));
-            if (slot_sig != ln.sig)
+            if ((slot_sig ^ ln.sig) & sigMask)
                 continue;
             if (std::memcmp(view + keyOffset, keys[i],
                             FiveTuple::keyBytes) == 0) {
@@ -213,6 +237,9 @@ ExactMatchCache::lookupBulk(const std::uint8_t *const *keys,
                 break;
         }
     }
+    const std::uint64_t nh = std::popcount(found);
+    hits_.fetch_add(nh, std::memory_order_relaxed);
+    misses_.fetch_add(n - nh, std::memory_order_relaxed);
     return found;
 }
 
@@ -223,32 +250,87 @@ ExactMatchCache::insert(
 {
     const std::uint64_t h = hashKey(key);
     const std::uint32_t sig = shortSignature(h);
-    const std::uint64_t idx[2] = {h & (numEntries - 1),
-                                  (h >> 32) & (numEntries - 1)};
+    const std::uint32_t gen = generation.load(std::memory_order_relaxed);
+    const std::uint64_t mask = activeMask_.load(std::memory_order_relaxed);
+    const std::uint64_t idx[2] = {h & mask, (h >> 32) & mask};
 
-    // Prefer an invalid slot; otherwise overwrite the first candidate
-    // (EMC entries are expendable — it is a cache, not a store).
+    enum class Victim { Fill, Update, Overwrite };
+    Victim kind = Victim::Overwrite;
     Addr victim = slotAddr(idx[0]);
-    for (int probe = 0; probe < 2; ++probe) {
-        const Addr slot = slotAddr(idx[probe]);
-        if (mem.load<std::uint32_t>(slot + genOffset) != generation) {
-            victim = slot;
-            break;
+
+    if (!managed_) {
+        // Prefer an invalid slot; otherwise overwrite the first
+        // candidate (EMC entries are expendable — it is a cache, not a
+        // store).
+        for (int probe = 0; probe < 2; ++probe) {
+            const Addr slot = slotAddr(idx[probe]);
+            if (mem.load<std::uint32_t>(slot + genOffset) != gen) {
+                victim = slot;
+                kind = Victim::Fill;
+                break;
+            }
+            // Same key already present: update in place.
+            if (mem.load<std::uint32_t>(slot + sigOffset) == sig &&
+                mem.equals(slot + keyOffset, key.data(), key.size())) {
+                victim = slot;
+                kind = Victim::Update;
+                break;
+            }
         }
-        // Same key already present: update in place.
-        if (mem.load<std::uint32_t>(slot + sigOffset) == sig &&
-            mem.equals(slot + keyOffset, key.data(), key.size())) {
-            victim = slot;
-            break;
+    } else {
+        // Managed mode: fill an invalid slot, update a matching key,
+        // and otherwise evict the candidate whose insert epoch is
+        // furthest behind the current one (recency-informed
+        // replacement; ties keep the first candidate, matching the
+        // plain policy).
+        std::uint32_t sigs[2] = {};
+        bool valid[2] = {};
+        for (int probe = 0; probe < 2; ++probe) {
+            const Addr slot = slotAddr(idx[probe]);
+            valid[probe] =
+                mem.load<std::uint32_t>(slot + genOffset) == gen;
+            sigs[probe] = mem.load<std::uint32_t>(slot + sigOffset);
+        }
+        bool resolved = false;
+        for (int probe = 0; probe < 2; ++probe) {
+            const Addr slot = slotAddr(idx[probe]);
+            if (!valid[probe]) {
+                victim = slot;
+                kind = Victim::Fill;
+                resolved = true;
+                break;
+            }
+            if (((sigs[probe] ^ sig) & 0xffffu) == 0 &&
+                mem.equals(slot + keyOffset, key.data(), key.size())) {
+                victim = slot;
+                kind = Victim::Update;
+                resolved = true;
+                break;
+            }
+        }
+        if (!resolved && idx[0] != idx[1]) {
+            // Wraparound distance from the current epoch: larger =
+            // staler.
+            const auto age0 = static_cast<std::uint16_t>(
+                epoch_ - static_cast<std::uint16_t>(sigs[0] >> 16));
+            const auto age1 = static_cast<std::uint16_t>(
+                epoch_ - static_cast<std::uint16_t>(sigs[1] >> 16));
+            if (age1 > age0)
+                victim = slotAddr(idx[1]);
         }
     }
+
+    const std::uint32_t stamp =
+        managed_ ? ((sig & 0xffffu) |
+                    (static_cast<std::uint32_t>(epoch_) << 16))
+                 : sig;
 
     if (concurrent_) [[unlikely]] {
         // Compose the slot off to the side, then publish it under the
         // victim's seqlock in atomic words.
         alignas(8) std::uint8_t slot[slotBytes];
-        std::memcpy(slot + sigOffset, &sig, sizeof(sig));
-        std::memcpy(slot + genOffset, &generation, sizeof(generation));
+        std::memcpy(slot + sigOffset, &stamp, sizeof(stamp));
+        std::memcpy(slot + genOffset, &gen, sizeof(gen));
         std::memcpy(slot + keyOffset, key.data(), key.size());
         std::memcpy(slot + valueOffset, &value, sizeof(value));
         const std::uint64_t victim_idx = (victim - base) / slotBytes;
@@ -256,10 +338,18 @@ ExactMatchCache::insert(
         mem.writeAtomic(victim, slot, slotBytes);
         seq_.writeEnd(victim_idx);
     } else {
-        mem.store<std::uint32_t>(victim + sigOffset, sig);
-        mem.store<std::uint32_t>(victim + genOffset, generation);
+        mem.store<std::uint32_t>(victim + sigOffset, stamp);
+        mem.store<std::uint32_t>(victim + genOffset, gen);
         mem.write(victim + keyOffset, key.data(), key.size());
         mem.store<std::uint64_t>(victim + valueOffset, value);
+    }
+    if (managed_) {
+        if (kind == Victim::Fill) {
+            ++live_;
+            livePub_.set(live_);
+        } else if (kind == Victim::Overwrite) {
+            evictOverwrites_.add(1);
+        }
     }
     recordRef(trace, victim, slotBytes, true, AccessPhase::Bucket);
     return (victim - base) / slotBytes;
@@ -271,14 +361,17 @@ ExactMatchCache::erase(
 {
     const std::uint64_t h = hashKey(key);
     const std::uint32_t sig = shortSignature(h);
-    const std::uint64_t idx[2] = {h & (numEntries - 1),
-                                  (h >> 32) & (numEntries - 1)};
+    const std::uint32_t gen = generation.load(std::memory_order_relaxed);
+    const std::uint32_t sigMask = sigCompareMask(managed_);
+    const std::uint64_t mask = activeMask_.load(std::memory_order_relaxed);
+    const std::uint64_t idx[2] = {h & mask, (h >> 32) & mask};
 
     for (int probe = 0; probe < 2; ++probe) {
         const Addr slot = slotAddr(idx[probe]);
         // Writer-side plain reads: the single writer owns all stores.
-        if (mem.load<std::uint32_t>(slot + genOffset) != generation ||
-            mem.load<std::uint32_t>(slot + sigOffset) != sig ||
+        if (mem.load<std::uint32_t>(slot + genOffset) != gen ||
+            ((mem.load<std::uint32_t>(slot + sigOffset) ^ sig) &
+             sigMask) != 0 ||
             !mem.equals(slot + keyOffset, key.data(), key.size())) {
             if (idx[0] == idx[1])
                 break;
@@ -291,6 +384,10 @@ ExactMatchCache::erase(
             seq_.writeEnd(idx[probe]);
         } else {
             mem.zero(slot, slotBytes);
+        }
+        if (managed_ && live_ > 0) {
+            --live_;
+            livePub_.set(live_);
         }
         return true;
     }
@@ -306,10 +403,34 @@ ExactMatchCache::enableConcurrent()
 }
 
 void
+ExactMatchCache::enableManaged()
+{
+    HALO_ASSERT(!managed_, "managed mode enabled twice");
+    managed_ = true;
+}
+
+void
+ExactMatchCache::setActiveEntries(std::uint64_t entries)
+{
+    HALO_ASSERT(managed_, "EMC resize needs managed mode");
+    HALO_ASSERT(entries >= 2 && isPowerOfTwo(entries) &&
+                    entries <= numEntries,
+                "EMC active entries: power of two within the footprint");
+    activeMask_.store(entries - 1, std::memory_order_relaxed);
+    // The new index range must start empty: entries stranded outside a
+    // shrunk range — or hashed differently under the new mask — may
+    // never resurrect.
+    clear();
+}
+
+void
 ExactMatchCache::clear()
 {
     // Bumping the generation invalidates every entry in O(1).
-    ++generation;
+    generation.fetch_add(1, std::memory_order_relaxed);
+    live_ = 0;
+    livePub_.set(0);
+    clears_.add(1);
 }
 
 } // namespace halo

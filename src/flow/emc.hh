@@ -23,6 +23,7 @@
 #include "hash/table_layout.hh"
 #include "mem/sim_memory.hh"
 #include "net/headers.hh"
+#include "sim/stats.hh"
 
 namespace halo {
 
@@ -43,11 +44,21 @@ class ExactMatchCache
           numEntries(other.numEntries),
           seed_(other.seed_),
           base(other.base),
-          generation(other.generation),
+          generation(other.generation.load(std::memory_order_relaxed)),
           concurrent_(other.concurrent_),
           seq_(std::move(other.seq_)),
-          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed))
+          seqRetries_(other.seqRetries_.load(std::memory_order_relaxed)),
+          managed_(other.managed_),
+          epoch_(other.epoch_),
+          live_(other.live_),
+          activeMask_(other.activeMask_.load(std::memory_order_relaxed)),
+          enabled_(other.enabled_.load(std::memory_order_relaxed)),
+          hits_(other.hits_.load(std::memory_order_relaxed)),
+          misses_(other.misses_.load(std::memory_order_relaxed))
     {
+        livePub_.set(live_);
+        evictOverwrites_.set(other.evictOverwrites_.value());
+        clears_.set(other.clears_.value());
     }
 
     /** Look up a full key; hit returns the stored value. */
@@ -107,6 +118,89 @@ class ExactMatchCache
     }
     /**@}*/
 
+    /** @name Managed-cache mode (adaptive EMC, DESIGN.md §16)
+     *
+     * enableManaged() — call before threads start — rededicates the
+     * high 16 bits of each slot's signature word as an insert-epoch
+     * stamp (PR 6 freed the analogous aux bytes in the cuckoo bucket
+     * line; the EMC's 32-bit signature has the same slack: the low 16
+     * bits filter just as well because the full-key compare still
+     * gates every hit). The single writer then gains
+     *
+     *  - recency-informed eviction: on a two-way conflict the insert
+     *    overwrites the candidate with the *older* insert epoch
+     *    instead of blindly clobbering the first one;
+     *  - occupancy tracking (liveEntries(), any thread);
+     *  - seqlock-safe disable/enable/resize: setEnabled() is one
+     *    relaxed flag the data path consults before probing, and
+     *    setActiveEntries() shrinks/grows the probed index range in
+     *    O(1) (generation bump invalidates every entry, so stale
+     *    slots outside — or stranded inside — the new range can never
+     *    alias a live flow). Readers never block on any transition.
+     */
+    /**@{*/
+    void enableManaged();
+    bool managedEnabled() const { return managed_; }
+
+    /** Writer-side: epoch stamped into subsequent inserts (the
+     *  revalidator's aging sweep advances it, like
+     *  CuckooHashTable::setTimestampEpoch). */
+    void setEpoch(std::uint16_t epoch) { epoch_ = epoch; }
+    std::uint16_t epoch() const { return epoch_; }
+
+    /** Writer-side: controller on/off switch. Readers (the worker
+     *  data path) observe it with one relaxed load per packet and
+     *  skip the probe entirely when off — the hybrid-mode payoff. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Writer-side resize within the allocated footprint: @p entries
+     * must be a power of two <= the constructed entry count. Bumps the
+     * generation (O(1) invalidate-all), so the new index range starts
+     * empty and entries stranded by a shrink can never resurrect.
+     */
+    void setActiveEntries(std::uint64_t entries);
+    std::uint64_t
+    activeEntries() const
+    {
+        return activeMask_.load(std::memory_order_relaxed) + 1;
+    }
+
+    /** Valid entries currently cached (published mirror; any thread).
+     *  Exact in managed mode, 0 otherwise. */
+    std::uint64_t liveEntries() const { return livePub_.value(); }
+
+    /** @name Lookup/eviction telemetry (relaxed counters, any thread) */
+    std::uint64_t
+    lookupHits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    lookupMisses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /** Live entries overwritten by a conflicting insert (managed). */
+    std::uint64_t evictOverwrites() const
+    {
+        return evictOverwrites_.value();
+    }
+    /** Generation bumps (clear / resize / disable transitions). */
+    std::uint64_t clearCount() const { return clears_.value(); }
+    /**@}*/
+
+    /** Constructed (maximum) entry count; the probed range may be
+     *  smaller in managed mode, see activeEntries(). */
     std::uint64_t entryCount() const { return numEntries; }
     std::uint64_t footprintBytes() const { return numEntries * slotBytes; }
     Addr baseAddr() const { return base; }
@@ -139,12 +233,29 @@ class ExactMatchCache
     std::uint64_t numEntries;
     std::uint64_t seed_;
     Addr base = invalidAddr;
-    std::uint32_t generation = 1;
+    /// Current generation; relaxed atomic so the managed-mode writer
+    /// can bump it (O(1) invalidate-all) under concurrent readers.
+    /// Plain mode never mutates it post-setup.
+    std::atomic<std::uint32_t> generation{1};
 
     /// Concurrent host-path mode (host-side seqlocks, one per slot).
     bool concurrent_ = false;
     SeqlockArray seq_;
     mutable std::atomic<std::uint64_t> seqRetries_{0};
+
+    /// Managed-cache mode (adaptive EMC). All writes below are
+    /// single-writer (revalidator); atomics are the reader-visible
+    /// knobs/telemetry.
+    bool managed_ = false;
+    std::uint16_t epoch_ = 0;        ///< writer-side insert stamp
+    std::uint64_t live_ = 0;         ///< writer-owned occupancy
+    PublishedCounter livePub_;       ///< any-thread mirror of live_
+    std::atomic<std::uint64_t> activeMask_;
+    std::atomic<bool> enabled_{true};
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    PublishedCounter evictOverwrites_; ///< writer-side (managed)
+    PublishedCounter clears_;          ///< generation bumps
 };
 
 } // namespace halo

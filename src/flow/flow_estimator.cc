@@ -1,0 +1,76 @@
+#include "flow/flow_estimator.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace halo {
+
+ShardFlowEstimator::ShardFlowEstimator(std::uint64_t bits,
+                                       unsigned sampleShift)
+    : bitMask_(bits - 1), sampleShift_(sampleShift)
+{
+    HALO_ASSERT(bits >= 64 && isPowerOfTwo(bits),
+                "flow-estimator bits: power of two, >= 64");
+    HALO_ASSERT(sampleShift < 32, "flow-estimator sample shift");
+    const std::uint64_t words = bits >> 6;
+    for (auto &buf : words_)
+        buf = std::make_unique<std::atomic<std::uint64_t>[]>(words);
+}
+
+ShardFlowEstimator::Window
+ShardFlowEstimator::closeWindow()
+{
+    const std::uint32_t cur = window_.load(std::memory_order_relaxed);
+    const unsigned retired = cur & 1u;
+    // Flip first: new observes land in the other (already-cleared)
+    // buffer while this thread scans the retired one below.
+    window_.store(cur + 1, std::memory_order_relaxed);
+
+    const std::uint64_t m = bitMask_ + 1;
+    const std::uint64_t words = m >> 6;
+    std::uint64_t set = 0;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        std::atomic<std::uint64_t> &word = words_[retired][i];
+        set += static_cast<std::uint64_t>(std::popcount(
+            word.load(std::memory_order_relaxed)));
+        word.store(0, std::memory_order_relaxed);
+    }
+
+    Window w;
+    w.samples = samples_[retired].load(std::memory_order_relaxed);
+    samples_[retired].store(0, std::memory_order_relaxed);
+    const std::uint64_t unset = m - set;
+    if (unset == 0) {
+        w.saturated = true;
+        w.estimate = saturationBound();
+    } else {
+        w.estimate = static_cast<double>(m) *
+                     std::log(static_cast<double>(m) /
+                              static_cast<double>(unset));
+    }
+
+    lastEstimateBits_.store(std::bit_cast<std::uint64_t>(w.estimate),
+                            std::memory_order_relaxed);
+    lastSamples_.store(w.samples, std::memory_order_relaxed);
+    windowsClosed_.fetch_add(1, std::memory_order_relaxed);
+    return w;
+}
+
+double
+ShardFlowEstimator::lastEstimate() const
+{
+    return std::bit_cast<double>(
+        lastEstimateBits_.load(std::memory_order_relaxed));
+}
+
+double
+ShardFlowEstimator::saturationBound() const
+{
+    const double m = static_cast<double>(bitMask_ + 1);
+    return m * std::log(m);
+}
+
+} // namespace halo

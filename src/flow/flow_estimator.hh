@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Host-path linear-counting flow estimator (paper §4.6, Fig. 8, ported
+ * from the simulator-side core::FlowRegister onto the runtime fast
+ * path).
+ *
+ * One instance per worker shard. The owning worker stamps one bit per
+ * observed packet hash (optionally sampled 1-in-2^k); the revalidator
+ * closes the window each control epoch and reads the linear-counting
+ * estimate
+ *
+ *      n_hat = m * ln(m / u)
+ *
+ * of distinct flows seen since the last close. The estimate — together
+ * with the per-window sample count, whose ratio bounds the best
+ * achievable EMC hit rate — drives the adaptive EMC controller
+ * (runtime/emc_controller.hh), reviving the paper's §3.5 hybrid mode
+ * as a runtime policy.
+ *
+ * Threading contract: observe() is owner-thread-only (the worker);
+ * closeWindow() is controller-thread-only (the revalidator); the
+ * lastEstimate()/lastSamples() snapshots are readable from any thread.
+ * The bit array is double-buffered: the controller flips the active
+ * window index, then scans and clears the retired buffer. A worker
+ * observe racing the flip may deposit its bit in the retired buffer —
+ * one packet of slack per flip, harmless for an estimator — and every
+ * shared word is a relaxed atomic, so the race is benign by
+ * construction (TSan-clean), exactly the precision/synchronization
+ * trade the paper makes for the hardware register.
+ */
+
+#ifndef HALO_FLOW_FLOW_ESTIMATOR_HH
+#define HALO_FLOW_FLOW_ESTIMATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace halo {
+
+class ShardFlowEstimator
+{
+  public:
+    /** One closed epoch window. */
+    struct Window
+    {
+        /// Linear-counting estimate of distinct flows observed
+        /// (post-sampling); the saturation bound m*ln(m) when every
+        /// bit was set.
+        double estimate = 0.0;
+        /// Packets observed in the window (post-sampling).
+        std::uint64_t samples = 0;
+        bool saturated = false;
+    };
+
+    /**
+     * @param bits        Bit-array size per window buffer (power of
+     *                    two). 2^18 bits = 32 KiB per buffer estimates
+     *                    accurately into the millions of flows.
+     * @param sampleShift Observe 1-in-2^shift packets (0 = every
+     *                    packet). Sampling keeps the data-path cost at
+     *                    ~nothing; distinct-flow counts then reflect
+     *                    the sampled stream, which is what the
+     *                    controller's repeat-fraction test wants.
+     */
+    explicit ShardFlowEstimator(std::uint64_t bits = 1ull << 18,
+                                unsigned sampleShift = 1);
+
+    ShardFlowEstimator(const ShardFlowEstimator &) = delete;
+    ShardFlowEstimator &operator=(const ShardFlowEstimator &) = delete;
+
+    /** Owner (worker) thread only: record one packet's flow hash. */
+    void
+    observe(std::uint64_t hash)
+    {
+        if (sampleShift_ &&
+            (tick_++ & ((1ull << sampleShift_) - 1)) != 0)
+            return;
+        const unsigned w = window_.load(std::memory_order_relaxed) & 1u;
+        const std::uint64_t bit = hash & bitMask_;
+        std::atomic<std::uint64_t> &word = words_[w][bit >> 6];
+        const std::uint64_t mask = 1ull << (bit & 63);
+        // Single marking thread per window: plain load + conditional
+        // store (no RMW) keeps the fast path at two relaxed accesses.
+        const std::uint64_t v = word.load(std::memory_order_relaxed);
+        if (!(v & mask))
+            word.store(v | mask, std::memory_order_relaxed);
+        const std::uint64_t s =
+            samples_[w].load(std::memory_order_relaxed);
+        samples_[w].store(s + 1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Controller thread only: retire the active window and return its
+     * estimate. Flips the active buffer first, then scans and zeroes
+     * the retired one, so the data path never blocks.
+     */
+    Window closeWindow();
+
+    /** @name Any-thread snapshots of the last closed window. */
+    /**@{*/
+    double lastEstimate() const;
+    std::uint64_t
+    lastSamples() const
+    {
+        return lastSamples_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    windowsClosed() const
+    {
+        return windowsClosed_.load(std::memory_order_relaxed);
+    }
+    /**@}*/
+
+    std::uint64_t bitCount() const { return bitMask_ + 1; }
+    unsigned sampleShift() const { return sampleShift_; }
+
+    /** Largest estimate one window can report before saturating. */
+    double saturationBound() const;
+
+  private:
+    std::uint64_t bitMask_;
+    unsigned sampleShift_;
+    std::uint64_t tick_ = 0; ///< owner thread only (sampling phase)
+
+    /// Active window index (low bit selects the buffer).
+    std::atomic<std::uint32_t> window_{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words_[2];
+    std::atomic<std::uint64_t> samples_[2] = {};
+
+    std::atomic<std::uint64_t> lastEstimateBits_{0};
+    std::atomic<std::uint64_t> lastSamples_{0};
+    std::atomic<std::uint64_t> windowsClosed_{0};
+};
+
+} // namespace halo
+
+#endif // HALO_FLOW_FLOW_ESTIMATOR_HH

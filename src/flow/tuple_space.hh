@@ -60,6 +60,9 @@ class TupleSpace
         /// Lookup-filter mode applied to every tuple's cuckoo table
         /// (EMOMA probe steering / Cuckoo++ negative filters).
         CuckooFilter filter = CuckooHashTable::Config{}.filter;
+        /// Occupancy-adaptive steering threshold forwarded to every
+        /// tuple table (CuckooHashTable::Config; 0 = fixed mode).
+        double adaptiveFilterLoadFactor = 0.0;
     };
 
     explicit TupleSpace(SimMemory &memory);

@@ -57,6 +57,9 @@ CuckooHashTable::CuckooHashTable(SimMemory &memory, const Config &config)
     negFilter_ = cuckooFilterNegative(filterMode_);
     if (emoma_)
         filter_.init(mem, md.kvSlots);
+    adaptiveLf_ = emoma_ ? config.adaptiveFilterLoadFactor : 0.0;
+    HALO_ASSERT(adaptiveLf_ >= 0.0 && adaptiveLf_ <= 1.0,
+                "adaptive filter threshold is a load factor");
 }
 
 std::uint64_t
@@ -402,7 +405,8 @@ CuckooHashTable::lookupFiltered(KeyView key, AccessTrace *trace,
     // key cannot rest in b2, making the single primary probe a complete
     // lookup for hits AND misses. A (rare) false positive merely probes
     // the alternate first and falls back — never a wrong answer.
-    const bool steer = emoma_ && !filter_.degraded() && b2 != b1;
+    const bool steer =
+        steeringActive() && !filter_.degraded() && b2 != b1;
     bool alt_maybe = true;
     if (steer) {
         // Get the primary line in flight behind the filter read:
@@ -522,7 +526,8 @@ CuckooHashTable::lookupConcurrent(KeyView key, AccessTrace *trace,
         bool stale = false;
         std::uint64_t value = 0;
 
-        const bool steer = emoma_ && !filter_.degraded() && b2 != b1;
+        const bool steer =
+            steeringActive() && !filter_.degraded() && b2 != b1;
         bool alt_maybe = true;
         if (steer) {
             // Overlap the primary line fetch with the filter query
@@ -920,7 +925,8 @@ CuckooHashTable::lookupFilteredBulk(const std::uint8_t *const *keys,
     // separate filter line enters the stream. The counting filter still
     // steers the scalar and concurrent paths, where the probe order
     // (not just the line count) matters.
-    const bool steerable = emoma_ && !negFilter_ && !filter_.degraded();
+    const bool steerable =
+        steeringActive() && !negFilter_ && !filter_.degraded();
 
     // --- Stage 0a: hash every key; get the filter blocks AND the
     //     primary bucket lines in flight (steering picks the primary
@@ -1089,7 +1095,7 @@ CuckooHashTable::prefetchBuckets(const std::uint8_t *key) const
     const std::uint64_t b1 =
         primaryBucket(KeyView(key, md.keyLen), sig, &h);
     const std::uint64_t b2 = alternativeBucket(b1, sig, md.bucketMask);
-    if (emoma_ && !filter_.degraded() && b2 != b1) {
+    if (steeringActive() && !filter_.degraded() && b2 != b1) {
         // Steered warm-up: exactly the one line the probe will read.
         const bool alt_maybe =
             concurrent_ ? filter_.queryAtomic(h) : filter_.query(h);
@@ -1466,6 +1472,7 @@ CuckooHashTable::insert(KeyView key, std::uint64_t value,
     bumpVersion(trace);
     ++numItems;
     itemsPub_.set(numItems);
+    maybeAdaptFilter();
     return true;
 }
 
@@ -1513,6 +1520,7 @@ CuckooHashTable::erase(KeyView key, AccessTrace *trace)
     bumpVersion(trace);
     --numItems;
     itemsPub_.set(numItems);
+    maybeAdaptFilter();
     return true;
 }
 
@@ -1536,6 +1544,36 @@ CuckooHashTable::forEachLine(const std::function<void(Addr)> &fn) const
     if (filter_.enabled())
         for (std::uint64_t blk = 0; blk < filter_.numBlocks(); ++blk)
             fn(filter_.baseAddr() + blk * cacheLineBytes);
+}
+
+void
+CuckooHashTable::maybeAdaptFilter()
+{
+    // Occupancy-adaptive steering (writer side, after every occupancy
+    // change): past the threshold most keys sit displaced in their
+    // alternate bucket, so EMOMA's "one definitive probe" decays into
+    // a guess that costs a filter line AND both buckets — flip to the
+    // plain Cuckoo++-style two-bucket probe until the table drains.
+    // The filter structures stay maintained throughout so steering can
+    // resume with counters intact; the 1/8 release band below the trip
+    // point keeps border occupancy from flapping the mode.
+    if (adaptiveLf_ == 0.0) [[likely]]
+        return;
+    const double lf = static_cast<double>(numItems) /
+                      static_cast<double>(md.numBuckets *
+                                          entriesPerBucket);
+    const bool suppressed =
+        steerSuppressed_.load(std::memory_order_relaxed);
+    bool flip = false;
+    if (!suppressed && lf > adaptiveLf_)
+        flip = true;
+    else if (suppressed && lf < adaptiveLf_ * 0.875)
+        flip = true;
+    if (flip) {
+        steerSuppressed_.store(!suppressed, std::memory_order_relaxed);
+        ++switchCount_;
+        filterSwitchesPub_.set(switchCount_);
+    }
 }
 
 } // namespace halo

@@ -141,6 +141,15 @@ class CuckooHashTable
 #else
         CuckooFilter filter = CuckooFilter::None;
 #endif
+        /// Occupancy-adaptive EMOMA steering (PR 6 leftover): above
+        /// this load factor the filter's single-bucket steering stops
+        /// paying (most lookups displace into the alternate bucket and
+        /// the counters saturate), so steering is suppressed and
+        /// lookups fall back to the plain two-bucket probe — the
+        /// Cuckoo++-style behaviour — until occupancy recedes. 0 = off
+        /// (fixed mode, the previous behaviour). Only meaningful for
+        /// Emoma/Both modes.
+        double adaptiveFilterLoadFactor = 0.0;
     };
 
     /** Build an empty table inside @p memory. */
@@ -160,16 +169,21 @@ class CuckooHashTable
           negFilter_(other.negFilter_),
           filter_(other.filter_),
           epoch_(other.epoch_),
+          adaptiveLf_(other.adaptiveLf_),
           concurrent_(other.concurrent_),
           seq_(std::move(other.seq_)),
           seqRetries_(other.seqRetries_.load(std::memory_order_relaxed)),
           filterSteers_(
-              other.filterSteers_.load(std::memory_order_relaxed))
+              other.filterSteers_.load(std::memory_order_relaxed)),
+          steerSuppressed_(
+              other.steerSuppressed_.load(std::memory_order_relaxed)),
+          switchCount_(other.switchCount_)
     {
         // Published mirrors are non-movable atomics: re-publish from
         // the plain writer-owned sources (setup-time only, see above).
         itemsPub_.set(numItems);
         movesPub_.set(displaceCount);
+        filterSwitchesPub_.set(switchCount_);
     }
 
     /** @name Functional operations */
@@ -279,6 +293,20 @@ class CuckooHashTable
     /** True when a saturated counter forced steering off (lookups fall
      *  back to the unfiltered two-bucket probe; correctness intact). */
     bool filterDegraded() const { return emoma_ && filter_.degraded(); }
+
+    /** Steering mode flips by the occupancy-adaptive switch (either
+     *  direction). Any thread; published mirror. */
+    std::uint64_t filterModeSwitches() const
+    {
+        return filterSwitchesPub_.value();
+    }
+
+    /** True while the adaptive switch has EMOMA steering suppressed
+     *  (lookups run plain two-bucket probes). Any thread. */
+    bool steeringSuppressed() const
+    {
+        return steerSuppressed_.load(std::memory_order_relaxed);
+    }
 
     /** Simulated bytes of the counting block filter (0 when off). */
     std::uint64_t filterFootprintBytes() const
@@ -451,6 +479,8 @@ class CuckooHashTable
     bool negFilter_ = false;
     CountingBlockFilter filter_;
     std::uint32_t epoch_ = 0;
+    /// Config::adaptiveFilterLoadFactor (0 = fixed steering).
+    double adaptiveLf_ = 0.0;
 
     /// Published mirrors of numItems/displaceCount so size(),
     /// loadFactor() and cuckooMoves() are readable from any thread
@@ -468,6 +498,26 @@ class CuckooHashTable
     /// Filter-steered lookups (see filterSteers()). Relaxed; bulk
     /// paths batch their increments into one add per call.
     mutable std::atomic<std::uint64_t> filterSteers_{0};
+
+    /// Occupancy-adaptive steering switch. The writer maintains the
+    /// filter structures unconditionally (so steering can resume with
+    /// counters intact); readers consult one relaxed flag. switchCount_
+    /// is writer-owned, mirrored for any-thread reads.
+    std::atomic<bool> steerSuppressed_{false};
+    std::uint64_t switchCount_ = 0;
+    PublishedCounter filterSwitchesPub_;
+
+    /** Reader-side: is EMOMA steering in effect right now? */
+    bool
+    steeringActive() const
+    {
+        return emoma_ &&
+               !steerSuppressed_.load(std::memory_order_relaxed);
+    }
+
+    /** Writer-side: flip steering when the load factor crosses the
+     *  configured threshold (with release hysteresis). */
+    void maybeAdaptFilter();
 };
 
 } // namespace halo

@@ -95,16 +95,24 @@ class SimMemory
     /**
      * Allocate @p bytes of simulated memory.
      * @param align Required alignment (power of two).
+     * @param what  Optional tag naming the allocation; failures report
+     *              it so a 10M-flow table blowing past the slab says
+     *              which table did it and which knob to raise.
      * @return base address of the block.
      */
     Addr
-    allocate(std::uint64_t bytes, std::uint64_t align = cacheLineBytes)
+    allocate(std::uint64_t bytes, std::uint64_t align = cacheLineBytes,
+             const char *what = nullptr)
     {
         HALO_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
         Addr base = (brk + align - 1) & ~(align - 1);
         if (base + bytes > capacityBytes)
-            fatal("SimMemory exhausted: need ", bytes, "B at ", base,
-                  " of ", capacityBytes);
+            fatal("SimMemory exhausted allocating ",
+                  what ? what : "a block", ": need ", bytes, "B at ",
+                  base, " of ", capacityBytes,
+                  "B capacity; size the slab for the flow scale "
+                  "(RuntimeConfig::shardMemBytes, or the SimMemory "
+                  "capacity argument)");
         brk = base + bytes;
         return base;
     }

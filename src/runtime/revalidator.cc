@@ -16,6 +16,7 @@ Revalidator::Revalidator(const RevalidatorConfig &config,
         HALO_ASSERT(s.vswitch && s.activity,
                     "revalidator shard hooks incomplete");
     drainBuf_.resize(std::max(cfg.drainBatch, 1u));
+    ctl_.resize(shards_.size());
     tracked_.reserve(
         std::min<std::size_t>(cfg.maxTrackedFlows, 1u << 16));
     if (cfg.traceCapacity)
@@ -65,6 +66,10 @@ Revalidator::counters() const
     c.sweeps = sweeps_.value();
     c.agedFlows = agedFlows_.value();
     c.agedEmc = agedEmc_.value();
+    c.promotesThrottled = promotesThrottled_.value();
+    c.ctrlDisables = ctrlDisables_.value();
+    c.ctrlEnables = ctrlEnables_.value();
+    c.ctrlResizes = ctrlResizes_.value();
     return c;
 }
 
@@ -181,6 +186,25 @@ Revalidator::handlePromote(const UpcallRequest &rq)
         key);
 
     ExactMatchCache &emc = s.vswitch->emc();
+    if (cfg.emcPolicy.adaptive) {
+        // Requests racing a controller disable still drain here; drop
+        // them (the workers stop producing once they see the flag).
+        if (!emc.enabled()) {
+            promotesThrottled_.add(1);
+            return;
+        }
+        // Occupancy-aware admission: under pressure only 1-in-2^shift
+        // promotions go in, so a full cache isn't churned wholesale by
+        // flows that will never repeat. Counter-phased, not random —
+        // determinism is a test invariant.
+        ShardControl &ctl = ctl_[rq.worker];
+        if (ctl.throttleShift &&
+            (ctl.promoteTick++ &
+             ((1ull << ctl.throttleShift) - 1)) != 0) {
+            promotesThrottled_.add(1);
+            return;
+        }
+    }
     if (emc.lookup(key_span)) {
         dedupHits_.add(1);
         return;
@@ -195,6 +219,75 @@ Revalidator::handlePromote(const UpcallRequest &rq)
     flow.shard = rq.worker;
     flow.emc = true;
     track(std::move(flow));
+}
+
+void
+Revalidator::controlEpoch()
+{
+    HALO_TRACE_SCOPE("revalidator/control");
+    HALO_PERF_SCOPE("revalidator/control");
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const ShardHooks &s = shards_[i];
+        if (!s.estimator)
+            continue;
+        ExactMatchCache &emc = s.vswitch->emc();
+
+        const ShardFlowEstimator::Window win =
+            s.estimator->closeWindow();
+        EmcControlInputs in;
+        in.estimate = win.estimate;
+        in.samples = win.samples;
+        in.saturated = win.saturated;
+        in.enabled = emc.enabled();
+        in.activeEntries = emc.activeEntries();
+        in.maxEntries = emc.entryCount();
+        in.liveEntries = emc.liveEntries();
+        in.currentThrottleShift = ctl_[i].throttleShift;
+
+        const EmcControlDecision d =
+            decideEmcPolicy(cfg.emcPolicy, in);
+        ctl_[i].throttleShift = d.throttleShift;
+        const auto shard = static_cast<std::uint16_t>(i);
+        switch (d.action) {
+          case EmcControlDecision::Action::Disable:
+            // Flag first (workers stop probing), then invalidate so a
+            // later re-enable starts cold instead of serving stale
+            // entries.
+            emc.setEnabled(false);
+            emc.clear();
+            dropTrackedEmc(shard);
+            ctrlDisables_.add(1);
+            break;
+          case EmcControlDecision::Action::Enable:
+            if (d.targetEntries != emc.activeEntries())
+                emc.setActiveEntries(d.targetEntries);
+            emc.setEnabled(true);
+            ctrlEnables_.add(1);
+            break;
+          case EmcControlDecision::Action::Resize:
+            emc.setActiveEntries(d.targetEntries);
+            dropTrackedEmc(shard);
+            ctrlResizes_.add(1);
+            break;
+          case EmcControlDecision::Action::None:
+            break;
+        }
+    }
+}
+
+void
+Revalidator::dropTrackedEmc(std::uint16_t shard)
+{
+    // The shard's EMC generation was just bumped: its tracked entries
+    // no longer exist, so aging them later would only waste erases.
+    for (std::size_t i = 0; i < tracked_.size();) {
+        if (tracked_[i].emc && tracked_[i].shard == shard) {
+            tracked_[i] = std::move(tracked_.back());
+            tracked_.pop_back();
+        } else {
+            ++i;
+        }
+    }
 }
 
 bool
@@ -248,6 +341,19 @@ Revalidator::sweep()
         if (cuckooFilterNegative(exact.filterMode()))
             exact.setTimestampEpoch(static_cast<std::uint32_t>(
                 s.activity->epoch()));
+        // Managed EMC inserts stamp the epoch into the slot's freed
+        // signature-word bytes; keep it in step for recency-informed
+        // eviction.
+        ExactMatchCache &emc = s.vswitch->emc();
+        if (emc.managedEnabled())
+            emc.setEpoch(
+                static_cast<std::uint16_t>(s.activity->epoch()));
+    }
+
+    if (cfg.emcPolicy.adaptive &&
+        ++sweepsSinceControl_ >= cfg.emcPolicy.controlIntervalSweeps) {
+        sweepsSinceControl_ = 0;
+        controlEpoch();
     }
 
     // Swap-pop walk: a flow idle past the timeout is erased from its

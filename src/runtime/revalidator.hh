@@ -38,8 +38,10 @@
 #include <vector>
 
 #include "flow/flow_activity.hh"
+#include "flow/flow_estimator.hh"
 #include "obs/perf.hh"
 #include "obs/trace.hh"
+#include "runtime/emc_controller.hh"
 #include "runtime/mpsc_ring.hh"
 #include "runtime/upcall.hh"
 #include "sim/stats.hh"
@@ -72,6 +74,10 @@ struct RevalidatorConfig
     /// WorkerConfig::perfEnabled).
     bool perfEnabled = false;
     unsigned perfSampleShift = 6;
+    /// Adaptive EMC management (emc_controller.hh). When
+    /// emcPolicy.adaptive is set the revalidator runs the policy every
+    /// controlIntervalSweeps sweeps against each shard's estimator.
+    EmcPolicyConfig emcPolicy;
 };
 
 /** Plain snapshot of the revalidator's published counters. */
@@ -92,6 +98,13 @@ struct RevalidatorCounters
     std::uint64_t agedFlows = 0;
     /// EMC entries aged out on idle timeout.
     std::uint64_t agedEmc = 0;
+    /// Promote requests refused by the occupancy throttle (or arriving
+    /// while the controller has the EMC disabled).
+    std::uint64_t promotesThrottled = 0;
+    /// Adaptive-controller transitions.
+    std::uint64_t ctrlDisables = 0;
+    std::uint64_t ctrlEnables = 0;
+    std::uint64_t ctrlResizes = 0;
 };
 
 class Revalidator
@@ -107,6 +120,10 @@ class Revalidator
         /// Pre-created exact-mask tuple index installs go into
         /// (TupleSpace::ensureTuple(FlowMask::exact()) at setup).
         unsigned exactTuple = 0;
+        /// The shard worker's flow estimator (null unless the adaptive
+        /// EMC policy is on). The revalidator is the sole closer of its
+        /// windows.
+        ShardFlowEstimator *estimator = nullptr;
     };
 
     /** @param ring externally owned (the runtime shares it with every
@@ -160,6 +177,12 @@ class Revalidator
     void handleMiss(const UpcallRequest &rq);
     void handlePromote(const UpcallRequest &rq);
     void sweep();
+    /** Adaptive EMC policy pass: close each shard's estimator window
+     *  and apply decideEmcPolicy()'s verdict. */
+    void controlEpoch();
+    /** Forget tracked EMC entries of @p shard (their cache generation
+     *  was just invalidated wholesale). */
+    void dropTrackedEmc(std::uint16_t shard);
     /** Erase @p flow's table entry; true when it was still present. */
     bool evict(const TrackedFlow &flow);
     void track(TrackedFlow &&flow);
@@ -180,6 +203,19 @@ class Revalidator
     PublishedCounter sweeps_;
     PublishedCounter agedFlows_;
     PublishedCounter agedEmc_;
+    PublishedCounter promotesThrottled_;
+    PublishedCounter ctrlDisables_;
+    PublishedCounter ctrlEnables_;
+    PublishedCounter ctrlResizes_;
+
+    /** Per-shard adaptive-policy state (revalidator thread only). */
+    struct ShardControl
+    {
+        unsigned throttleShift = 0;
+        std::uint64_t promoteTick = 0; ///< throttle phase counter
+    };
+    std::vector<ShardControl> ctl_;
+    unsigned sweepsSinceControl_ = 0;
 
     std::vector<TrackedFlow> tracked_;  ///< revalidator thread only
     std::size_t evictCursor_ = 0;       ///< round-robin cap eviction

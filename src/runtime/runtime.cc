@@ -23,6 +23,14 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         activities_.reserve(cfg.numWorkers);
         for (unsigned w = 0; w < cfg.numWorkers; ++w)
             activities_.push_back(std::make_unique<FlowActivity>());
+        if (cfg.emcPolicy.adaptive) {
+            estimators_.reserve(cfg.numWorkers);
+            for (unsigned w = 0; w < cfg.numWorkers; ++w)
+                estimators_.push_back(
+                    std::make_unique<ShardFlowEstimator>(
+                        cfg.emcPolicy.estimatorBits,
+                        cfg.emcPolicy.estimatorSampleShift));
+        }
     }
     workers_.reserve(cfg.numWorkers);
     for (unsigned w = 0; w < cfg.numWorkers; ++w) {
@@ -48,6 +56,8 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
             wc.upcallRing = upcallRing_.get();
             wc.activity = activities_[w].get();
             wc.promoteSampleShift = cfg.promoteSampleShift;
+            if (cfg.emcPolicy.adaptive)
+                wc.flowEstimator = estimators_[w].get();
         }
         workers_.push_back(std::make_unique<Worker>(wc, rules));
     }
@@ -77,6 +87,10 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
             for (unsigned t = 0; t < vs.tupleSpace().numTuples(); ++t)
                 vs.tupleSpace().table(t).enableConcurrent();
             vs.emc().enableConcurrent();
+            if (cfg.emcPolicy.adaptive) {
+                vs.emc().enableManaged();
+                h.estimator = estimators_[w].get();
+            }
             hooks.push_back(h);
         }
         RevalidatorConfig rc = cfg.revalidator;
@@ -84,6 +98,7 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
             rc.traceCapacity = cfg.traceCapacity;
         rc.perfEnabled = cfg.perfEnabled;
         rc.perfSampleShift = cfg.perfSampleShift;
+        rc.emcPolicy = cfg.emcPolicy;
         reval_ = std::make_unique<Revalidator>(rc, *upcallRing_,
                                                std::move(hooks));
     }
@@ -320,6 +335,45 @@ Runtime::registerMetrics(obs::MetricsRegistry &reg)
         // Seqlock retries and EMOMA steers live on the tables; sum
         // them per worker (relaxed counter reads on stable objects).
         const ExactMatchCache *emc = &w->vswitch().emc();
+
+        // EMC cache-management telemetry (relaxed counter/gauge reads;
+        // the adaptive controller drives enabled/active/live, and the
+        // probe counters tick in every mode).
+        reg.attach("halo_emc_lookup_hits", l, obs::MetricKind::Counter,
+                   [emc] {
+                       return static_cast<double>(emc->lookupHits());
+                   });
+        reg.attach("halo_emc_lookup_misses", l,
+                   obs::MetricKind::Counter, [emc] {
+                       return static_cast<double>(
+                           emc->lookupMisses());
+                   });
+        reg.attach("halo_emc_live_entries", l, obs::MetricKind::Gauge,
+                   [emc] {
+                       return static_cast<double>(emc->liveEntries());
+                   });
+        reg.attach("halo_emc_active_entries", l,
+                   obs::MetricKind::Gauge, [emc] {
+                       return static_cast<double>(
+                           emc->activeEntries());
+                   });
+        reg.attach("halo_emc_enabled", l, obs::MetricKind::Gauge,
+                   [emc] { return emc->enabled() ? 1.0 : 0.0; });
+        reg.attach("halo_emc_evict_overwrites", l,
+                   obs::MetricKind::Counter, [emc] {
+                       return static_cast<double>(
+                           emc->evictOverwrites());
+                   });
+        reg.attach("halo_emc_clears", l, obs::MetricKind::Counter,
+                   [emc] {
+                       return static_cast<double>(emc->clearCount());
+                   });
+        if (const ShardFlowEstimator *est = flowEstimator(
+                static_cast<unsigned>(i))) {
+            reg.attach("halo_emc_estimated_flows", l,
+                       obs::MetricKind::Gauge,
+                       [est] { return est->lastEstimate(); });
+        }
         std::vector<const CuckooHashTable *> tables;
         if (tables_stable) {
             TupleSpace &ts = w->vswitch().tupleSpace();
@@ -348,6 +402,13 @@ Runtime::registerMetrics(obs::MetricsRegistry &reg)
                                    return 1.0;
                            return 0.0;
                        });
+            reg.attach("halo_worker_filter_mode_switches", l,
+                       obs::MetricKind::Counter, [tables] {
+                           std::uint64_t sum = 0;
+                           for (const CuckooHashTable *t : tables)
+                               sum += t->filterModeSwitches();
+                           return static_cast<double>(sum);
+                       });
         }
     }
 
@@ -375,6 +436,14 @@ Runtime::registerMetrics(obs::MetricsRegistry &reg)
             {"halo_reval_sweeps", &RevalidatorCounters::sweeps},
             {"halo_reval_aged_flows", &RevalidatorCounters::agedFlows},
             {"halo_reval_aged_emc", &RevalidatorCounters::agedEmc},
+            {"halo_emc_promotes_throttled",
+             &RevalidatorCounters::promotesThrottled},
+            {"halo_emc_ctrl_disables",
+             &RevalidatorCounters::ctrlDisables},
+            {"halo_emc_ctrl_enables",
+             &RevalidatorCounters::ctrlEnables},
+            {"halo_emc_ctrl_resizes",
+             &RevalidatorCounters::ctrlResizes},
         };
         for (const auto &s : reval_series) {
             auto field = s.field;
@@ -427,6 +496,14 @@ Runtime::startSampler()
         columns.push_back("reval_installs");
         columns.push_back("reval_aged_flows");
     }
+    if (cfg.emcPolicy.adaptive) {
+        // Adaptive-EMC series: summed flow estimate and active entry
+        // count across shards, plus how many shards still probe their
+        // EMC — the sampler view of hybrid-mode decisions over time.
+        columns.push_back("emc_estimated_flows");
+        columns.push_back("emc_active_entries");
+        columns.push_back("emc_enabled_shards");
+    }
     // The sample function runs on the sampler thread and restricts
     // itself to relaxed-atomic reads (published counters, ring
     // indices) per the stats threading contract.
@@ -450,6 +527,19 @@ Runtime::startSampler()
                 row.push_back(static_cast<double>(rc.installs));
                 row.push_back(static_cast<double>(rc.agedFlows +
                                                   rc.agedEmc));
+            }
+            if (cfg.emcPolicy.adaptive) {
+                double est = 0.0, active = 0.0, on = 0.0;
+                for (std::size_t w = 0; w < workers_.size(); ++w) {
+                    est += estimators_[w]->lastEstimate();
+                    const ExactMatchCache &emc =
+                        workers_[w]->vswitch().emc();
+                    active += static_cast<double>(emc.activeEntries());
+                    on += emc.enabled() ? 1.0 : 0.0;
+                }
+                row.push_back(est);
+                row.push_back(active);
+                row.push_back(on);
             }
             return row;
         });

@@ -88,6 +88,15 @@ struct RuntimeConfig
     bool decoupled = false;
     RevalidatorConfig revalidator;
     /**
+     * Adaptive EMC management (decoupled mode only): per-shard
+     * linear-counting flow estimators on the data path, occupancy-aware
+     * promotion throttling, and a controller that disables/re-enables/
+     * resizes each shard's EMC from the flow-count estimate each
+     * control epoch (paper §3.5 hybrid mode as a runtime policy).
+     * Copied into revalidator.emcPolicy.
+     */
+    EmcPolicyConfig emcPolicy;
+    /**
      * Per-thread PMU attribution (HALO_PERF_SCOPE): every worker and
      * the revalidator get a PerfRecorder whose perf_event_open group
      * is opened on the owning thread. Open failure (EPERM/ENOENT in
@@ -193,6 +202,11 @@ class Runtime
     Revalidator *revalidator() { return reval_.get(); }
     /** Null unless cfg.decoupled. */
     MpscRing<UpcallRequest> *upcallRing() { return upcallRing_.get(); }
+    /** Null unless cfg.emcPolicy.adaptive. */
+    ShardFlowEstimator *flowEstimator(unsigned i)
+    {
+        return i < estimators_.size() ? estimators_[i].get() : nullptr;
+    }
 
     /** Spawn the worker threads. */
     void start();
@@ -267,6 +281,7 @@ class Runtime
     /// outlive the workers holding pointers into them).
     std::unique_ptr<MpscRing<UpcallRequest>> upcallRing_;
     std::vector<std::unique_ptr<FlowActivity>> activities_;
+    std::vector<std::unique_ptr<ShardFlowEstimator>> estimators_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::unique_ptr<Revalidator> reval_;
     std::thread producer_;

@@ -59,6 +59,8 @@ Worker::Worker(const WorkerConfig &config, const RuleSet &rules)
     }
     if (cfg.activity)
         shard_.vswitch().setActivityTracker(cfg.activity);
+    if (cfg.flowEstimator)
+        shard_.vswitch().setFlowEstimator(cfg.flowEstimator);
 }
 
 Worker::~Worker()

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "flow/flow_activity.hh"
+#include "flow/flow_estimator.hh"
 #include "net/packet.hh"
 #include "obs/histogram.hh"
 #include "obs/perf.hh"
@@ -78,6 +79,10 @@ struct WorkerConfig
     MpscRing<UpcallRequest> *upcallRing = nullptr;
     /// Flow-activity stamps for revalidator aging (null = off).
     FlowActivity *activity = nullptr;
+    /// Per-shard cardinality estimator feeding the adaptive EMC
+    /// controller (null = off). The worker marks bits; the revalidator
+    /// closes windows.
+    ShardFlowEstimator *flowEstimator = nullptr;
     /// Sample 1-in-2^shift megaflow hits for EMC promotion upcalls
     /// (OVS's probabilistic EMC insertion; 0 = promote every hit).
     unsigned promoteSampleShift = 3;

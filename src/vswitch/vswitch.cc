@@ -334,7 +334,7 @@ VirtualSwitch::burstChunkSoftware(std::span<const FiveTuple> batch,
         }
 
         std::uint32_t emc_hits = 0;
-        if (cfg.useEmc) {
+        if (cfg.useEmc && emcCache.enabled()) {
             HALO_TRACE_SCOPE("vswitch/burst_emc");
             HALO_PERF_SCOPE("vswitch/burst_emc");
             std::uint64_t values[maxBulkLanes];
@@ -566,11 +566,17 @@ VirtualSwitch::classifyTupleAt(const FiveTuple &tuple,
     }
 
     // Aging support: stamp the flow's activity slot on every match
-    // (one relaxed store; the revalidator compares against it).
-    if (activity_ && res.matched) [[unlikely]] {
+    // (one relaxed store; the revalidator compares against it). The
+    // flow estimator shares the same hash — every packet counts toward
+    // cardinality, matched or not.
+    if ((activity_ && res.matched) || estimator_) [[unlikely]] {
         const auto key = tuple.toKey();
-        activity_->touch(activityHash(
-            std::span<const std::uint8_t>(key.data(), key.size())));
+        const std::uint64_t h = activityHash(
+            std::span<const std::uint8_t>(key.data(), key.size()));
+        if (activity_ && res.matched)
+            activity_->touch(h);
+        if (estimator_)
+            estimator_->observe(h);
     }
 
     // --- Action execution + bookkeeping ("others" in Fig. 3). ---
@@ -595,8 +601,9 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
 {
     const auto key = tuple.toKey();
 
-    // --- EMC probe. ---
-    if (cfg.useEmc) {
+    // --- EMC probe (the adaptive controller may have it off: one
+    // relaxed flag load is the entire hybrid-mode cost then). ---
+    if (cfg.useEmc && emcCache.enabled()) {
         HALO_TRACE_SCOPE("vswitch/emc");
         HALO_PERF_SCOPE("vswitch/emc");
         bool hit = false;
@@ -692,7 +699,7 @@ VirtualSwitch::softwareClassify(const FiveTuple &tuple, PacketResult &res,
     if (match) {
         res.matched = true;
         res.action = Action::decode(match->value);
-        if (cfg.useEmc) {
+        if (cfg.useEmc && emcCache.enabled()) {
             if (cfg.deferSlowPath) {
                 // Single-writer invariant: the revalidator performs
                 // the insert; hand the wish back to the caller.

@@ -31,6 +31,7 @@
 #include "cpu/trace_builder.hh"
 #include "flow/emc.hh"
 #include "flow/flow_activity.hh"
+#include "flow/flow_estimator.hh"
 #include "flow/ruleset.hh"
 #include "flow/tuple_space.hh"
 #include "net/packet.hh"
@@ -240,6 +241,15 @@ class VirtualSwitch
         activity_ = activity;
     }
 
+    /** Feed per-packet flow hashes into @p estimator (null = off).
+     *  The adaptive-EMC runtime wires the shard's linear-counting
+     *  estimator here; it shares the activity tracker's hash, so the
+     *  data path pays at most one extra sampled bit-set per packet. */
+    void setFlowEstimator(ShardFlowEstimator *estimator)
+    {
+        estimator_ = estimator;
+    }
+
     /** Mode selected for the *next* packet (Hybrid consults the flow
      *  register). */
     LookupMode effectiveMode() const;
@@ -320,6 +330,7 @@ class VirtualSwitch
     TupleSpace openflow; ///< OpenFlow layer (slow path)
     std::uint64_t upcallCount = 0;
     FlowActivity *activity_ = nullptr; ///< aging stamps (may be null)
+    ShardFlowEstimator *estimator_ = nullptr; ///< flow-count bits
     TraceBuilder tableBuilder; ///< Table-1 profile (cuckoo lookups)
     TraceBuilder emcBuilder;   ///< lighter profile for EMC probes
 

@@ -407,5 +407,98 @@ TEST(CuckooFilters, ModeReportingAndFootprint)
     EXPECT_STREQ(cuckooFilterName(CuckooFilter::Both), "both");
 }
 
+/**
+ * The occupancy-adaptive steering switch (DESIGN.md §16 satellite):
+ * past the configured load factor EMOMA steering stops paying, so the
+ * table must suppress it — plain two-bucket probes, zero filter-line
+ * reads — and release it again only once occupancy falls a hysteresis
+ * band (7/8 of the trip point) lower. Lookup results must be correct
+ * in both modes and across both transitions.
+ */
+TEST(CuckooFilters, AdaptiveSwitchSuppressesSteeringAtHighOccupancy)
+{
+    constexpr std::uint64_t capacity = 20000;
+    constexpr double trip = 0.5;
+    SimMemory mem(128ull << 20);
+    CuckooHashTable::Config cfg;
+    cfg.keyLen = keyLen;
+    cfg.capacity = capacity;
+    cfg.filter = CuckooFilter::Emoma;
+    cfg.adaptiveFilterLoadFactor = trip;
+    CuckooHashTable table(mem, cfg);
+
+    auto filterReadsOverSample = [&](std::uint64_t upTo) {
+        AccessTrace trace;
+        unsigned filterReads = 0;
+        for (std::uint64_t id = 0; id < upTo; id += 97) {
+            const auto key = keyForId(id);
+            trace.clear();
+            const auto v = table.lookup(
+                KeyView(key.data(), key.size()), &trace, invalidAddr);
+            EXPECT_TRUE(v.has_value()) << "id " << id;
+            if (v)
+                EXPECT_EQ(*v, id * 3 + 7);
+            filterReads += readsOf(trace, AccessPhase::Filter);
+            EXPECT_LE(readsOf(trace, AccessPhase::Bucket), 2u);
+        }
+        return filterReads;
+    };
+
+    // Below the threshold steering runs: filter lines show up in the
+    // traced reference streams.
+    std::uint64_t id = 0;
+    while (table.loadFactor() <= trip - 0.03) {
+        const auto key = keyForId(id);
+        ASSERT_TRUE(
+            table.insert(KeyView(key.data(), key.size()), id * 3 + 7));
+        ++id;
+    }
+    EXPECT_FALSE(table.steeringSuppressed());
+    EXPECT_EQ(table.filterModeSwitches(), 0u);
+    EXPECT_GT(filterReadsOverSample(id), 0u);
+
+    // Cross the trip point: one switch, steering off.
+    while (!table.steeringSuppressed()) {
+        ASSERT_LT(id, capacity) << "switch never tripped";
+        const auto key = keyForId(id);
+        ASSERT_TRUE(
+            table.insert(KeyView(key.data(), key.size()), id * 3 + 7));
+        ++id;
+    }
+    EXPECT_EQ(table.filterModeSwitches(), 1u);
+    EXPECT_GT(table.loadFactor(), trip);
+
+    // Suppressed: correct results, not one filter line read — and
+    // misses stay misses (the plain two-bucket probe needs no filter).
+    EXPECT_EQ(filterReadsOverSample(id), 0u);
+    for (std::uint64_t miss = capacity * 2; miss < capacity * 2 + 500;
+         ++miss) {
+        const auto key = keyForId(miss);
+        EXPECT_FALSE(
+            table.lookup(KeyView(key.data(), key.size())).has_value());
+    }
+
+    // Hysteresis: droop below the trip point but above the release
+    // band (trip * 0.875) must NOT flap steering back on.
+    while (table.loadFactor() >= trip * 0.875 + 0.03) {
+        const auto key = keyForId(--id);
+        ASSERT_TRUE(table.erase(KeyView(key.data(), key.size())));
+    }
+    EXPECT_TRUE(table.steeringSuppressed());
+    EXPECT_EQ(table.filterModeSwitches(), 1u);
+
+    // Drain past the release band: steering resumes (second switch)
+    // and the maintained-throughout filter steers correctly again.
+    while (table.steeringSuppressed()) {
+        ASSERT_GT(id, 0u) << "switch never released";
+        const auto key = keyForId(--id);
+        ASSERT_TRUE(table.erase(KeyView(key.data(), key.size())));
+    }
+    EXPECT_EQ(table.filterModeSwitches(), 2u);
+    EXPECT_LT(table.loadFactor(), trip * 0.875);
+    EXPECT_GT(filterReadsOverSample(id), 0u);
+    EXPECT_FALSE(table.filterDegraded());
+}
+
 } // namespace
 } // namespace halo

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 
 #include "mem/sim_memory.hh"
 
@@ -95,6 +96,38 @@ TEST(SimMemory, ExhaustionIsFatal)
 {
     SimMemory mem(4096);
     EXPECT_THROW(mem.allocate(1 << 20), FatalError);
+}
+
+/**
+ * Exhaustion must be actionable at 10M-flow scale: the error names the
+ * allocation that blew past the slab and the knob to raise, so a
+ * too-small RuntimeConfig::shardMemBytes fails loudly at setup instead
+ * of corrupting state later.
+ */
+TEST(SimMemory, ExhaustionNamesTheAllocationAndTheKnob)
+{
+    SimMemory mem(4096);
+    try {
+        mem.allocate(1 << 20, cacheLineBytes, "megaflow tuple table");
+        FAIL() << "allocation past capacity must throw";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("megaflow tuple table"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("shardMemBytes"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4096"), std::string::npos)
+            << "capacity missing: " << msg;
+    }
+
+    // Untagged allocations still fail with the knob pointer.
+    try {
+        mem.allocate(1 << 20);
+        FAIL() << "allocation past capacity must throw";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("a block"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("shardMemBytes"), std::string::npos) << msg;
+    }
 }
 
 TEST(SimMemory, LineViewAliasesReadsAndWrites)

@@ -138,6 +138,26 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(rc, 1, out)
         self.assertIn("cuckoo_lookup", out)
 
+    def test_flowscale_extractor(self):
+        base = {"benchmark": "flowscale_throughput",
+                "meta": dict(META),
+                "headline_adaptive_over_fixed": 1.2,
+                "runs": [{"flows": 1000000, "zipf_skew": 0.5,
+                          "policy": "adaptive",
+                          "stream_distinct_flows": 381000,
+                          "ref_rel_error": 0.001,
+                          "aggregate_cpu_pps": 70000.0}]}
+        # The deterministic replay gates across hosts / under
+        # --no-timing; cpu-pps does not.
+        cur = json.loads(json.dumps(base))
+        cur["runs"][0]["aggregate_cpu_pps"] = 100.0
+        rc, out = self._run(base, cur, "--no-timing")
+        self.assertEqual(rc, 0, out)
+        cur["runs"][0]["stream_distinct_flows"] = 300000
+        rc, out = self._run(base, cur, "--no-timing")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("stream_distinct_flows", out)
+
     def test_unknown_benchmark_is_noop(self):
         doc = {"benchmark": "mystery", "meta": dict(META)}
         rc, out = self._run(doc, doc)
