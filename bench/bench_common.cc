@@ -135,25 +135,41 @@ measureHaloNonBlocking(Machine &m, const CuckooHashTable &table,
 }
 
 void
-writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s)
+writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s,
+                  std::size_t maxRows)
 {
+    const std::size_t n = s.rows.size();
+    // Evenly spaced retained indices, endpoints pinned so the series
+    // still spans the whole run after decimation.
+    std::vector<std::size_t> keep;
+    if (maxRows == 0 || n <= maxRows || maxRows < 2) {
+        keep.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            keep.push_back(i);
+    } else {
+        keep.reserve(maxRows);
+        for (std::size_t i = 0; i < maxRows; ++i)
+            keep.push_back(i * (n - 1) / (maxRows - 1));
+    }
+
     j.beginObject();
     j.key("columns").beginArray();
     for (const std::string &c : s.columns)
         j.value(c);
     j.endArray();
     j.key("t_nanos").beginArray();
-    for (const std::uint64_t t : s.tNanos)
-        j.value(t);
+    for (const std::size_t i : keep)
+        j.value(s.tNanos[i]);
     j.endArray();
     j.key("rows").beginArray();
-    for (const auto &row : s.rows) {
+    for (const std::size_t i : keep) {
         j.beginArray();
-        for (const double v : row)
+        for (const double v : s.rows[i])
             j.value(v, 1);
         j.endArray();
     }
     j.endArray();
+    j.kv("rows_recorded", static_cast<std::uint64_t>(n));
     j.endObject();
 }
 

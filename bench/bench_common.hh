@@ -125,8 +125,18 @@ warmupLookups(Machine &m, const CuckooHashTable &table,
  *  tools/bench_diff.py can compare any pair. */
 /**@{*/
 
-/** Sampler time series as {columns, t_nanos, rows}. */
-void writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s);
+/**
+ * Sampler time series as {columns, t_nanos, rows, rows_recorded}.
+ *
+ * Committed BENCH files embed one series per sweep cell, so an
+ * uncapped series dominates the file (flowscale once weighed in at
+ * ~99k lines). @p maxRows stride-decimates at write time — first and
+ * last samples always kept, the rest evenly spaced — while
+ * rows_recorded preserves the pre-decimation count. 0 writes every
+ * row. Run-time sampling resolution is unaffected.
+ */
+void writeSampleSeries(obs::JsonWriter &j, const obs::SampleSeries &s,
+                       std::size_t maxRows = 96);
 
 /**
  * PMU attribution block: {compiled_in, enabled, degraded, stages:[…]}.

@@ -45,6 +45,48 @@ Packet::fromTuple(const FiveTuple &tuple, std::size_t payload)
     return pkt;
 }
 
+namespace {
+
+/** Byte offset of the L4 payload, or 0 when the frame is too short to
+ *  carry an 8-byte tag there. */
+std::size_t
+orderTagOffset(const std::vector<std::uint8_t> &buffer)
+{
+    constexpr std::size_t ip_base = EthernetHeader::wireBytes;
+    if (buffer.size() < ip_base + Ipv4Header::wireBytes)
+        return 0;
+    const bool is_tcp =
+        buffer[ip_base + 9] == static_cast<std::uint8_t>(IpProto::Tcp);
+    const std::size_t off = ip_base + Ipv4Header::wireBytes +
+                            (is_tcp ? TcpHeader::wireBytes
+                                    : UdpHeader::wireBytes);
+    return buffer.size() >= off + 8 ? off : 0;
+}
+
+} // namespace
+
+void
+Packet::stampOrderTag(std::uint64_t tag)
+{
+    const std::size_t off = orderTagOffset(buffer);
+    if (!off)
+        return;
+    for (unsigned i = 0; i < 8; ++i)
+        buffer[off + i] = static_cast<std::uint8_t>(tag >> (8 * i));
+}
+
+std::uint64_t
+Packet::orderTag() const
+{
+    const std::size_t off = orderTagOffset(buffer);
+    if (!off)
+        return 0;
+    std::uint64_t tag = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        tag |= static_cast<std::uint64_t>(buffer[off + i]) << (8 * i);
+    return tag;
+}
+
 std::optional<ParsedHeaders>
 Packet::parseHeaders() const
 {

@@ -59,6 +59,18 @@ class Packet
     /** Extract headers; nullopt for runts / non-IPv4. */
     std::optional<ParsedHeaders> parseHeaders() const;
 
+    /** @name Order tag (test/bench instrumentation)
+     *  Stamp an opaque 64-bit tag (conventionally flow-id<<32 | seq)
+     *  into the first eight L4 payload bytes, where the elastic
+     *  runtime's FlowOrderValidator reads it back to prove no
+     *  intra-flow reordering across migrations. Stamping requires a
+     *  packet built with >= 8 payload bytes (fromTuple's default
+     *  qualifies); orderTag() returns 0 for packets too short. */
+    /**@{*/
+    void stampOrderTag(std::uint64_t tag);
+    std::uint64_t orderTag() const;
+    /**@}*/
+
   private:
     std::vector<std::uint8_t> buffer;
 };

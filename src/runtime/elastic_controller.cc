@@ -1,0 +1,595 @@
+#include "runtime/elastic_controller.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+namespace halo {
+
+namespace {
+
+std::uint64_t
+steadyNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Hot shard's buckets, hottest first, from the epoch heat map. */
+std::vector<unsigned>
+bucketsByHeat(const RebalanceInputs &in, unsigned shard)
+{
+    std::vector<unsigned> out;
+    for (unsigned b = 0; b < in.buckets.size(); ++b)
+        if (in.buckets[b].shard == shard)
+            out.push_back(b);
+    std::sort(out.begin(), out.end(), [&](unsigned a, unsigned b) {
+        return in.buckets[a].packets > in.buckets[b].packets;
+    });
+    return out;
+}
+
+} // namespace
+
+RebalanceDecision
+decideRebalance(const ElasticConfig &cfg, const RebalanceInputs &in,
+                ElasticEpochState &state)
+{
+    RebalanceDecision d;
+    const unsigned n = static_cast<unsigned>(in.shards.size());
+    std::vector<unsigned> active, parked;
+    for (unsigned i = 0; i < n; ++i)
+        (in.shards[i].parked ? parked : active).push_back(i);
+    if (active.empty())
+        return d;
+
+    double sum = 0.0, maxBusy = 0.0;
+    unsigned hot = active.front();
+    for (unsigned i : active) {
+        const double b = in.shards[i].busyFraction;
+        sum += b;
+        if (b > maxBusy) {
+            maxBusy = b;
+            hot = i;
+        }
+    }
+    const double meanBusy = sum / static_cast<double>(active.size());
+    d.maxBusy = maxBusy;
+    d.meanBusy = meanBusy;
+
+    // Per-shard packet sums from the bucket heat map (decision input
+    // for victim selection; busy fractions drive detection).
+    std::vector<std::uint64_t> shardPk(n, 0);
+    for (const BucketLoad &b : in.buckets)
+        if (b.shard < n)
+            shardPk[b.shard] += b.packets;
+
+    // --- Unpark: pressure overrides every other concern. The woken
+    // worker gets roughly half the hottest shard's heat so it starts
+    // useful immediately instead of waiting out another hysteresis
+    // round. ---
+    if (!parked.empty() && meanBusy > cfg.unparkBusyFraction) {
+        d.unpark = static_cast<int>(parked.front());
+        const auto order = bucketsByHeat(in, hot);
+        std::uint64_t moved = 0;
+        for (unsigned b : order) {
+            if (d.migrations.size() >= cfg.maxMigrationsPerEpoch)
+                break;
+            if (moved * 2 >= shardPk[hot] || !in.buckets[b].packets)
+                break;
+            d.migrations.push_back(
+                {b, hot, static_cast<unsigned>(d.unpark)});
+            moved += in.buckets[b].packets;
+        }
+        state.imbalancedEpochs = 0;
+        state.lowLoadEpochs = 0;
+        state.cooldown = cfg.cooldownEpochs;
+        return d;
+    }
+
+    // Streaks advance even through cooldown so a persistent condition
+    // fires the moment the cooldown expires.
+    d.imbalanced = active.size() > 1 && maxBusy > cfg.minBusyToAct &&
+                   maxBusy > cfg.imbalanceRatio * meanBusy;
+    state.imbalancedEpochs =
+        d.imbalanced ? state.imbalancedEpochs + 1 : 0;
+
+    d.lowLoad = true;
+    for (unsigned i : active)
+        if (in.shards[i].busyFraction >= cfg.parkBusyFraction)
+            d.lowLoad = false;
+    state.lowLoadEpochs = d.lowLoad ? state.lowLoadEpochs + 1 : 0;
+
+    if (state.cooldown) {
+        --state.cooldown;
+        return d;
+    }
+
+    // --- Migrate away from the hot shard after the hysteresis streak.
+    // Damped: move about half the excess per epoch, coldest targets
+    // first, so the loop converges instead of sloshing. ---
+    if (d.imbalanced && state.imbalancedEpochs >= cfg.hysteresisEpochs) {
+        std::uint64_t activePk = 0;
+        for (unsigned i : active)
+            activePk += shardPk[i];
+        const std::uint64_t meanPk =
+            activePk / static_cast<std::uint64_t>(active.size());
+        if (shardPk[hot] > meanPk) {
+            const std::uint64_t excess = shardPk[hot] - meanPk;
+            const auto order = bucketsByHeat(in, hot);
+
+            // One bucket dominating the hot shard is a granularity
+            // problem, not a placement problem: ask for a split (new
+            // finer buckets inherit the shard, next epoch can move
+            // half the heat) as long as the bucket could actually
+            // split (more than one flow) and the table has headroom.
+            if (!order.empty()) {
+                const BucketLoad &top = in.buckets[order.front()];
+                if (static_cast<double>(top.packets) >
+                        cfg.splitBucketShare *
+                            static_cast<double>(shardPk[hot]) &&
+                    top.flows > 1 &&
+                    in.buckets.size() * 2 <= in.maxTableEntries)
+                    d.splitTable = true;
+            }
+
+            std::vector<std::pair<std::uint64_t, unsigned>> targets;
+            for (unsigned i : active)
+                if (i != hot)
+                    targets.emplace_back(shardPk[i], i);
+            std::uint64_t moved = 0;
+            for (unsigned b : order) {
+                if (targets.empty() ||
+                    d.migrations.size() >= cfg.maxMigrationsPerEpoch)
+                    break;
+                const std::uint64_t pk = in.buckets[b].packets;
+                if (!pk || moved * 2 >= excess)
+                    break;
+                // A bucket hotter than the whole excess would just
+                // flip the imbalance to its destination; leave it for
+                // splitting.
+                if (pk > excess)
+                    continue;
+                auto dest = std::min_element(targets.begin(),
+                                             targets.end());
+                d.migrations.push_back({b, hot, dest->second});
+                dest->first += pk;
+                moved += pk;
+            }
+        }
+        if (!d.migrations.empty() || d.splitTable) {
+            state.imbalancedEpochs = 0;
+            state.cooldown = cfg.cooldownEpochs;
+        }
+        return d;
+    }
+
+    // --- Park: sustained low load across every active worker. The
+    // victim (highest id, so worker 0 is always last to go) is fully
+    // evacuated round-robin; the park itself happens after the
+    // migrations complete. ---
+    if (d.lowLoad && state.lowLoadEpochs >= cfg.parkAfterEpochs &&
+        active.size() > std::max(cfg.minActiveWorkers, 1u)) {
+        const unsigned victim = active.back();
+        std::vector<unsigned> rest;
+        for (unsigned i : active)
+            if (i != victim)
+                rest.push_back(i);
+        unsigned rr = 0;
+        for (unsigned b = 0; b < in.buckets.size(); ++b)
+            if (in.buckets[b].shard == victim)
+                d.migrations.push_back(
+                    {b, victim, rest[rr++ % rest.size()]});
+        d.park = static_cast<int>(victim);
+        state.lowLoadEpochs = 0;
+        state.cooldown = cfg.cooldownEpochs;
+    }
+    return d;
+}
+
+ElasticController::ElasticController(const ElasticConfig &config,
+                                     Hooks hooks)
+    : cfg(config), hooks_(std::move(hooks))
+{
+    HALO_ASSERT(hooks_.rss, "elastic controller needs a dispatcher");
+    HALO_ASSERT(!hooks_.workers.empty(),
+                "elastic controller needs workers");
+    const std::size_t n = hooks_.workers.size();
+    prevPackets_.assign(n, 0);
+    prevBusy_.assign(n, 0);
+    loads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        loads_.push_back(std::make_unique<PublishedLoad>());
+}
+
+ElasticController::~ElasticController()
+{
+    requestStop();
+    join();
+}
+
+void
+ElasticController::start()
+{
+    HALO_ASSERT(!thread_.joinable(), "controller already started");
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { threadMain(); });
+}
+
+void
+ElasticController::requestStop()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(wakeMtx_);
+    }
+    wakeCv_.notify_all();
+}
+
+void
+ElasticController::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+ElasticController::threadMain()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(wakeMtx_);
+            wakeCv_.wait_for(
+                lk,
+                std::chrono::microseconds(cfg.controlIntervalMicros),
+                [this] {
+                    return stop_.load(std::memory_order_acquire);
+                });
+        }
+        if (stop_.load(std::memory_order_acquire))
+            break;
+        runEpoch();
+    }
+}
+
+template <typename Pred>
+bool
+ElasticController::boundedWait(std::uint64_t micros, Pred pred) const
+{
+    const std::uint64_t deadline = steadyNanos() + micros * 1000;
+    while (!pred()) {
+        if (steadyNanos() >= deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+void
+ElasticController::producerGrace() const
+{
+    if (!hooks_.offerSeq)
+        return;
+    // Dekker pairing with the producer: our setEntry CAS (seq_cst) is
+    // ordered before this read; the producer's seqlock enter (seq_cst
+    // RMW) is ordered before its table read. Whichever happened first,
+    // either we see the odd sequence and wait the dispatch out, or the
+    // dispatch sees the new mapping.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t s =
+        hooks_.offerSeq->load(std::memory_order_acquire);
+    if (s & 1) {
+        boundedWait(cfg.migrationTimeoutMicros, [this, s] {
+            return hooks_.offerSeq->load(
+                       std::memory_order_acquire) != s;
+        });
+    }
+}
+
+void
+ElasticController::runEpoch()
+{
+    const std::uint64_t now = steadyNanos();
+    const std::uint64_t wall =
+        lastEpochNanos_ ? now - lastEpochNanos_
+                        : cfg.controlIntervalMicros * 1000;
+    lastEpochNanos_ = now;
+
+    const std::size_t n = hooks_.workers.size();
+    std::vector<ShardLoadSnapshot> shards(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Worker *w = hooks_.workers[i];
+        const WorkerCounters c = w->counters();
+        ShardLoadSnapshot &s = shards[i];
+        s.packets = c.packets - prevPackets_[i];
+        s.busyNanos = c.busyNanos - prevBusy_[i];
+        prevPackets_[i] = c.packets;
+        prevBusy_[i] = c.busyNanos;
+        s.busyFraction =
+            wall ? std::min(1.0, static_cast<double>(s.busyNanos) /
+                                     static_cast<double>(wall))
+                 : 0.0;
+        s.ringDepthHwm = w->takeRingDepthHwm();
+        if (i < hooks_.estimators.size() && hooks_.estimators[i]) {
+            if (hooks_.closeWindows)
+                hooks_.estimators[i]->closeWindow();
+            s.flowEstimate = hooks_.estimators[i]->lastEstimate();
+        }
+        s.parked = w->parked();
+
+        PublishedLoad &p = *loads_[i];
+        p.packets.store(s.packets, std::memory_order_relaxed);
+        p.busyNanos.store(s.busyNanos, std::memory_order_relaxed);
+        p.busyMicroFraction.store(
+            static_cast<std::uint64_t>(s.busyFraction * 1e6),
+            std::memory_order_relaxed);
+        p.ringDepthHwm.store(s.ringDepthHwm,
+                             std::memory_order_relaxed);
+        p.flowEstimate.store(
+            static_cast<std::uint64_t>(s.flowEstimate),
+            std::memory_order_relaxed);
+        p.parked.store(s.parked, std::memory_order_relaxed);
+    }
+
+    const unsigned tb = hooks_.rss->tableEntries();
+    std::vector<BucketLoad> buckets(tb);
+    for (unsigned b = 0; b < tb; ++b) {
+        const RssDispatcher::BucketState st =
+            hooks_.rss->bucketState(b);
+        buckets[b].shard = st.shard;
+        buckets[b].flows = st.flows;
+        buckets[b].packets = hooks_.rss->takeBucketPackets(b);
+    }
+
+    // Forced migrations (ops/test hook) run first, with the full
+    // protocol, re-sourced from the current mapping.
+    std::vector<RebalanceDecision::Migration> forced;
+    {
+        std::lock_guard<std::mutex> lk(forcedMtx_);
+        forced.swap(forced_);
+    }
+    for (auto &m : forced) {
+        if (m.bucket >= tb)
+            continue;
+        m.from = hooks_.rss->bucketState(m.bucket).shard;
+        migrateBuckets(std::span<const RebalanceDecision::Migration>(
+                           &m, 1),
+                       cfg.migrationTimeoutMicros);
+    }
+
+    RebalanceInputs in;
+    in.shards = shards;
+    in.buckets = buckets;
+    in.maxTableEntries = hooks_.rss->maxTableEntries();
+    const RebalanceDecision d = decideRebalance(cfg, in, state_);
+    actuate(d);
+    epochs_.add(1);
+}
+
+void
+ElasticController::actuate(const RebalanceDecision &d)
+{
+    if (d.unpark >= 0 &&
+        d.unpark < static_cast<int>(hooks_.workers.size())) {
+        hooks_.workers[d.unpark]->requestUnpark();
+        unparks_.add(1);
+    }
+    if (d.splitTable && hooks_.rss->growTable())
+        splits_.add(1);
+
+    // Migrations grouped by source worker, one group's gates cleared
+    // before the next group flips: only one source is ever "drained
+    // against" at a time, so a gated destination never has to make
+    // progress for any armed gate to clear (no A⇄B deadlock).
+    std::vector<RebalanceDecision::Migration> ms = d.migrations;
+    std::stable_sort(ms.begin(), ms.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.from < b.from;
+                     });
+    std::size_t i = 0;
+    while (i < ms.size()) {
+        std::size_t j = i;
+        while (j < ms.size() && ms[j].from == ms[i].from)
+            ++j;
+        migrateBuckets(
+            std::span<const RebalanceDecision::Migration>(
+                ms.data() + i, j - i),
+            cfg.migrationTimeoutMicros);
+        i = j;
+    }
+
+    if (d.park >= 0 &&
+        d.park < static_cast<int>(hooks_.workers.size())) {
+        Worker *victim = hooks_.workers[d.park];
+        // Buckets are already remapped away and the producer grace has
+        // passed, so the ring only shrinks from here.
+        boundedWait(cfg.migrationTimeoutMicros,
+                    [victim] { return victim->ring().empty(); });
+        victim->requestPark();
+        parks_.add(1);
+    }
+}
+
+void
+ElasticController::migrateBuckets(
+    std::span<const RebalanceDecision::Migration> group,
+    std::uint64_t waitMicros)
+{
+    if (group.empty())
+        return;
+    const unsigned src = group.front().from;
+    if (src >= hooks_.workers.size())
+        return;
+    Worker *source = hooks_.workers[src];
+
+    // Validate the group against the current mapping.
+    std::vector<RebalanceDecision::Migration> live;
+    std::vector<unsigned> dests;
+    for (const auto &m : group) {
+        if (m.from != src || m.to >= hooks_.workers.size() ||
+            m.bucket >= hooks_.rss->tableEntries())
+            continue;
+        if (hooks_.rss->bucketState(m.bucket).shard != m.from ||
+            m.to == m.from)
+            continue;
+        live.push_back(m);
+        if (std::find(dests.begin(), dests.end(), m.to) ==
+            dests.end())
+            dests.push_back(m.to);
+    }
+    if (live.empty())
+        return;
+
+    // Gate BEFORE flip: every destination is armed with an
+    // unreachable hold fence first, so a post-flip packet of a moved
+    // flow can never be processed while the source still holds
+    // pre-flip packets. The real fence is published only after the
+    // flip and the producer grace.
+    constexpr std::uint64_t kHold =
+        std::numeric_limits<std::uint64_t>::max();
+    std::vector<unsigned> armed;
+    for (unsigned d : dests) {
+        Worker *dst = hooks_.workers[d];
+        if (dst->parkRequested())
+            dst->requestUnpark();
+        if (boundedWait(cfg.migrationTimeoutMicros, [dst, source] {
+                return dst->armMigrationGate(source, kHold);
+            }))
+            armed.push_back(d);
+        else
+            gateTimeouts_.add(1);
+    }
+    if (armed.empty())
+        return;
+
+    std::uint64_t flipped = 0;
+    for (const auto &m : live) {
+        // A flip whose destination could not be gated would run
+        // unprotected; skip it (the timeout already flagged the bug).
+        if (std::find(armed.begin(), armed.end(), m.to) ==
+            armed.end())
+            continue;
+        hooks_.rss->setEntry(m.bucket, m.to);
+        ++flipped;
+    }
+
+    producerGrace();
+    const std::uint64_t fence = source->ring().pushedCount();
+    for (unsigned d : armed)
+        hooks_.workers[d]->setMigrationGateFence(fence);
+    migrations_.add(flipped);
+
+    if (waitMicros) {
+        for (unsigned d : armed) {
+            Worker *dst = hooks_.workers[d];
+            if (!boundedWait(waitMicros, [dst] {
+                    return !dst->migrationGateActive();
+                })) {
+                // Slow drain (CPU oversubscription): stop blocking the
+                // control loop, but never force-clear — the fence is
+                // already published, so the gate self-clears on the
+                // destination thread and ordering stays intact.
+                gateTimeouts_.add(1);
+            }
+        }
+    }
+}
+
+void
+ElasticController::requestMigration(unsigned bucket, unsigned dest)
+{
+    std::lock_guard<std::mutex> lk(forcedMtx_);
+    forced_.push_back({bucket, 0, dest});
+}
+
+bool
+ElasticController::anyGateActive() const
+{
+    for (Worker *w : hooks_.workers)
+        if (w->migrationGateActive())
+            return true;
+    return false;
+}
+
+ElasticCounters
+ElasticController::counters() const
+{
+    ElasticCounters c;
+    c.epochs = epochs_.value();
+    c.migrations = migrations_.value();
+    c.splits = splits_.value();
+    c.parks = parks_.value();
+    c.unparks = unparks_.value();
+    c.gateTimeouts = gateTimeouts_.value();
+    return c;
+}
+
+ShardLoadSnapshot
+ElasticController::shardLoad(unsigned shard) const
+{
+    ShardLoadSnapshot s;
+    if (shard >= loads_.size())
+        return s;
+    const PublishedLoad &p = *loads_[shard];
+    s.packets = p.packets.load(std::memory_order_relaxed);
+    s.busyNanos = p.busyNanos.load(std::memory_order_relaxed);
+    s.busyFraction =
+        static_cast<double>(p.busyMicroFraction.load(
+            std::memory_order_relaxed)) /
+        1e6;
+    s.ringDepthHwm =
+        p.ringDepthHwm.load(std::memory_order_relaxed);
+    s.flowEstimate = static_cast<double>(
+        p.flowEstimate.load(std::memory_order_relaxed));
+    s.parked = p.parked.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ElasticController::registerMetrics(obs::MetricsRegistry &reg)
+{
+    reg.attachCounter("halo_ctrl_epochs", {}, epochs_);
+    reg.attachCounter("halo_ctrl_migrations", {}, migrations_);
+    reg.attachCounter("halo_ctrl_splits", {}, splits_);
+    reg.attachCounter("halo_ctrl_parks", {}, parks_);
+    reg.attachCounter("halo_ctrl_unparks", {}, unparks_);
+    reg.attachCounter("halo_ctrl_gate_timeouts", {}, gateTimeouts_);
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+        const PublishedLoad *p = loads_[i].get();
+        const obs::MetricLabels l = {{"worker", std::to_string(i)}};
+        reg.attach("halo_shard_busy_fraction", l,
+                   obs::MetricKind::Gauge, [p] {
+                       return static_cast<double>(
+                                  p->busyMicroFraction.load(
+                                      std::memory_order_relaxed)) /
+                              1e6;
+                   });
+        reg.attach("halo_shard_ring_depth_hwm", l,
+                   obs::MetricKind::Gauge, [p] {
+                       return static_cast<double>(
+                           p->ringDepthHwm.load(
+                               std::memory_order_relaxed));
+                   });
+        reg.attach("halo_shard_flow_estimate", l,
+                   obs::MetricKind::Gauge, [p] {
+                       return static_cast<double>(
+                           p->flowEstimate.load(
+                               std::memory_order_relaxed));
+                   });
+        reg.attach("halo_worker_parked", l, obs::MetricKind::Gauge,
+                   [p] {
+                       return p->parked.load(
+                                  std::memory_order_relaxed)
+                                  ? 1.0
+                                  : 0.0;
+                   });
+    }
+}
+
+} // namespace halo

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Intra-flow packet-order oracle for the elastic runtime.
+ *
+ * Each packet carries an order tag (Packet::stampOrderTag, flow-id in
+ * the high 32 bits, a per-flow strictly increasing sequence number in
+ * the low 32) stamped by the traffic source. Every worker reports the
+ * tags it processes, in processing order, through observe(); the
+ * validator keeps one atomic last-sequence slot per flow and counts a
+ * violation whenever a flow's sequence fails to advance — exactly the
+ * event the drain-then-remap migration protocol exists to prevent
+ * (a flow's packets processed by two shards concurrently, or the
+ * destination shard running ahead of the source's drain).
+ *
+ * The slot update is a CAS max, so concurrent observers are a
+ * correctness check, not a data race: if the migration fence works, a
+ * flow is only ever reported by one worker at a time and the sequence
+ * is monotone; if the fence is broken, the stale-sequence CAS loses
+ * and the violation counter records it. Flow ids must be < maxFlows
+ * (the bench/test sizes the table to its flow population, so there are
+ * no collision-induced false positives).
+ */
+
+#ifndef HALO_RUNTIME_ORDER_VALIDATOR_HH
+#define HALO_RUNTIME_ORDER_VALIDATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.hh"
+#include "sim/stats.hh"
+
+namespace halo {
+
+class FlowOrderValidator
+{
+  public:
+    explicit FlowOrderValidator(std::size_t maxFlows)
+        : size_(maxFlows ? maxFlows : 1),
+          last_(std::make_unique<std::atomic<std::uint64_t>[]>(size_))
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            last_[i].store(0, std::memory_order_relaxed);
+    }
+
+    /** Worker threads, in processing order. Tag 0 (no payload room /
+     *  unstamped packet) is ignored. */
+    void
+    observe(const Packet &pkt)
+    {
+        const std::uint64_t tag = pkt.orderTag();
+        if (!tag)
+            return;
+        const std::uint64_t flow = tag >> 32;
+        // Slots store seq+1 so 0 means "never seen".
+        const std::uint64_t seq1 = (tag & 0xffffffffull) + 1;
+        if (flow >= size_)
+            return;
+        auto &slot = last_[flow];
+        std::uint64_t prev = slot.load(std::memory_order_relaxed);
+        for (;;) {
+            if (seq1 <= prev) {
+                violations_.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            if (slot.compare_exchange_weak(
+                    prev, seq1, std::memory_order_relaxed))
+                break;
+        }
+        observed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Any thread. */
+    std::uint64_t violations() const
+    {
+        return violations_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t observed() const
+    {
+        return observed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::size_t size_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> last_;
+    // Multi-writer counters (every worker reports), so plain atomics
+    // rather than the single-owner PublishedCounter.
+    std::atomic<std::uint64_t> violations_{0};
+    std::atomic<std::uint64_t> observed_{0};
+};
+
+} // namespace halo
+
+#endif // HALO_RUNTIME_ORDER_VALIDATOR_HH

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "runtime/rss.hh"
 #include "sim/logging.hh"
 
 namespace halo {
@@ -165,9 +166,16 @@ Revalidator::handleMiss(const UpcallRequest &rq)
         return;
     }
     installs_.add(1);
+    // A new megaflow entry is a live flow in its indirection bucket;
+    // the charge is reversed when aging evicts the entry. EMC
+    // promotions are not counted — the flow's megaflow entry already
+    // is.
+    if (rss_)
+        rss_->noteNewFlow(rq.tuple);
 
     TrackedFlow flow;
     flow.key = key;
+    flow.tuple = rq.tuple;
     flow.hash = activityHash(key);
     flow.installEpoch = s.activity->epoch();
     flow.shard = rq.worker;
@@ -214,6 +222,7 @@ Revalidator::handlePromote(const UpcallRequest &rq)
 
     TrackedFlow flow;
     flow.key = key;
+    flow.tuple = rq.tuple;
     flow.hash = activityHash(key);
     flow.installEpoch = s.activity->epoch();
     flow.shard = rq.worker;
@@ -312,10 +321,13 @@ Revalidator::track(TrackedFlow &&flow)
         // age).
         evictCursor_ %= tracked_.size();
         if (evict(tracked_[evictCursor_])) {
-            if (tracked_[evictCursor_].emc)
+            if (tracked_[evictCursor_].emc) {
                 agedEmc_.add(1);
-            else
+            } else {
                 agedFlows_.add(1);
+                if (rss_)
+                    rss_->noteFlowEnd(tracked_[evictCursor_].tuple);
+            }
         }
         tracked_[evictCursor_] = std::move(flow);
         ++evictCursor_;
@@ -371,10 +383,13 @@ Revalidator::sweep()
             continue;
         }
         if (evict(flow)) {
-            if (flow.emc)
+            if (flow.emc) {
                 agedEmc_.add(1);
-            else
+            } else {
                 agedFlows_.add(1);
+                if (rss_)
+                    rss_->noteFlowEnd(flow.tuple);
+            }
         }
         tracked_[i] = std::move(tracked_.back());
         tracked_.pop_back();

@@ -49,6 +49,8 @@
 
 namespace halo {
 
+class RssDispatcher;
+
 struct RevalidatorConfig
 {
     /// Upcall-ring slots shared by all workers (rounded up to a power
@@ -136,6 +138,13 @@ class Revalidator
     Revalidator(const Revalidator &) = delete;
     Revalidator &operator=(const Revalidator &) = delete;
 
+    /** Attach the RSS dispatcher so megaflow installs and aging keep
+     *  the per-bucket live-flow accounting current (noteNewFlow on
+     *  install, noteFlowEnd on age-out) — the flow counts the elastic
+     *  controller's split decisions and flows-moved charges read.
+     *  Call before start(); null (the default) disables accounting. */
+    void attachRss(RssDispatcher *rss) { rss_ = rss; }
+
     void start();
 
     /** Ask the thread to exit once the upcall ring is empty (producers
@@ -166,6 +175,9 @@ class Revalidator
     struct TrackedFlow
     {
         std::array<std::uint8_t, FiveTuple::keyBytes> key{};
+        /// Original five-tuple, kept so aging can reverse the
+        /// dispatcher's live-flow charge (noteFlowEnd re-hashes it).
+        FiveTuple tuple;
         std::uint64_t hash = 0;
         std::uint64_t installEpoch = 0;
         std::uint16_t shard = 0;
@@ -190,6 +202,7 @@ class Revalidator
     RevalidatorConfig cfg;
     MpscRing<UpcallRequest> &ring_;
     std::vector<ShardHooks> shards_;
+    RssDispatcher *rss_ = nullptr; ///< live-flow accounting (optional)
 
     std::thread thread_;
     std::atomic<bool> stop_{false};

@@ -23,14 +23,19 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         activities_.reserve(cfg.numWorkers);
         for (unsigned w = 0; w < cfg.numWorkers; ++w)
             activities_.push_back(std::make_unique<FlowActivity>());
-        if (cfg.emcPolicy.adaptive) {
-            estimators_.reserve(cfg.numWorkers);
-            for (unsigned w = 0; w < cfg.numWorkers; ++w)
-                estimators_.push_back(
-                    std::make_unique<ShardFlowEstimator>(
-                        cfg.emcPolicy.estimatorBits,
-                        cfg.emcPolicy.estimatorSampleShift));
-        }
+    }
+    // Per-shard estimators serve two controllers: the adaptive EMC
+    // policy (decoupled mode, revalidator closes the windows) and the
+    // elastic load snapshots (any mode, elastic controller closes the
+    // windows when the revalidator doesn't).
+    if ((cfg.decoupled && cfg.emcPolicy.adaptive) ||
+        cfg.elastic.enabled) {
+        estimators_.reserve(cfg.numWorkers);
+        for (unsigned w = 0; w < cfg.numWorkers; ++w)
+            estimators_.push_back(
+                std::make_unique<ShardFlowEstimator>(
+                    cfg.emcPolicy.estimatorBits,
+                    cfg.emcPolicy.estimatorSampleShift));
     }
     workers_.reserve(cfg.numWorkers);
     for (unsigned w = 0; w < cfg.numWorkers; ++w) {
@@ -46,6 +51,9 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         wc.traceCapacity = cfg.traceCapacity;
         wc.perfEnabled = cfg.perfEnabled;
         wc.perfSampleShift = cfg.perfSampleShift;
+        wc.orderValidator = cfg.orderValidator;
+        if (!estimators_.empty())
+            wc.flowEstimator = estimators_[w].get();
         if (cfg.decoupled) {
             // The burst prepass-replay assumes tables quiesce between
             // prepass and replay; the revalidator writes concurrently,
@@ -56,8 +64,6 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
             wc.upcallRing = upcallRing_.get();
             wc.activity = activities_[w].get();
             wc.promoteSampleShift = cfg.promoteSampleShift;
-            if (cfg.emcPolicy.adaptive)
-                wc.flowEstimator = estimators_[w].get();
         }
         workers_.push_back(std::make_unique<Worker>(wc, rules));
     }
@@ -101,6 +107,25 @@ Runtime::Runtime(const RuntimeConfig &config, const RuleSet &rules)
         rc.emcPolicy = cfg.emcPolicy;
         reval_ = std::make_unique<Revalidator>(rc, *upcallRing_,
                                                std::move(hooks));
+        // Installs/aging maintain the dispatcher's per-bucket live-flow
+        // counts — the signal the elastic controller's split decisions
+        // and flows-moved accounting read.
+        reval_->attachRss(&rss_);
+    }
+
+    if (cfg.elastic.enabled) {
+        ElasticController::Hooks eh;
+        eh.rss = &rss_;
+        for (auto &w : workers_)
+            eh.workers.push_back(w.get());
+        eh.offerSeq = &offerSeq_;
+        for (auto &e : estimators_)
+            eh.estimators.push_back(e.get());
+        // Exactly one window closer per estimator: the revalidator's
+        // adaptive-EMC loop when it runs, this controller otherwise.
+        eh.closeWindows = !(cfg.decoupled && cfg.emcPolicy.adaptive);
+        elastic_ =
+            std::make_unique<ElasticController>(cfg.elastic, eh);
     }
 }
 
@@ -118,21 +143,40 @@ Runtime::start()
         reval_->start();
     for (auto &w : workers_)
         w->start();
+    if (elastic_)
+        elastic_->start();
 }
 
 bool
 Runtime::offer(Packet &&packet, const FiveTuple &tuple)
 {
     offered_.add(1);
-    Worker &w = *workers_[rss_.shardFor(tuple)];
+    // Offer seqlock: odd while the table read + push is in flight.
+    // The elastic controller's migration grace waits for an even
+    // value after flipping an entry, so no dispatch steered by the
+    // old mapping can land after the migration fence is captured.
+    // The seq_cst enter pairs Dekker-style with setEntry's seq_cst
+    // CAS (see ElasticController::producerGrace).
+    if (elastic_)
+        offerSeq_.fetch_add(1, std::memory_order_seq_cst);
+    const unsigned bucket = rss_.bucketFor(tuple);
+    rss_.notePacket(bucket);
+    Worker &w = *workers_[rss_.entry(bucket)];
+    bool pushed = false;
     for (unsigned attempt = 0;; ++attempt) {
         if (w.ring().tryPush(std::move(packet))) {
-            enqueued_.add(1);
-            return true;
+            pushed = true;
+            break;
         }
         if (attempt >= cfg.enqueueRetries)
             break;
         std::this_thread::yield();
+    }
+    if (elastic_)
+        offerSeq_.fetch_add(1, std::memory_order_release);
+    if (pushed) {
+        enqueued_.add(1);
+        return true;
     }
     drops_.add(1);
     return false;
@@ -176,6 +220,13 @@ Runtime::drain()
 void
 Runtime::stop()
 {
+    // The elastic controller goes first so no migration or park is in
+    // flight while workers wind down (any armed gate still clears:
+    // the source drains on stop).
+    if (elastic_) {
+        elastic_->requestStop();
+        elastic_->join();
+    }
     // Workers first (they produce upcalls), then the revalidator: its
     // drain-on-stop consumes whatever is still queued before exiting.
     for (auto &w : workers_)
@@ -456,6 +507,8 @@ Runtime::registerMetrics(obs::MetricsRegistry &reg)
     }
 
     rss_.registerMetrics(reg);
+    if (elastic_)
+        elastic_->registerMetrics(reg);
 
     // Per-thread, per-stage PMU series. Pre-intern the canonical
     // stage list so attachment happens before the first scope runs.
@@ -504,6 +557,21 @@ Runtime::startSampler()
         columns.push_back("emc_active_entries");
         columns.push_back("emc_enabled_shards");
     }
+    if (elastic_) {
+        // Elastic series: the controller's last per-shard load
+        // snapshot plus the actuation counters, so a run shows the
+        // balance converging (busy fractions) and what it cost
+        // (migrations/splits/parked workers) over time.
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            columns.push_back("worker" + std::to_string(w) +
+                              "_busy_fraction");
+            columns.push_back("worker" + std::to_string(w) +
+                              "_ring_hwm");
+        }
+        columns.push_back("ctrl_migrations");
+        columns.push_back("ctrl_splits");
+        columns.push_back("parked_workers");
+    }
     // The sample function runs on the sampler thread and restricts
     // itself to relaxed-atomic reads (published counters, ring
     // indices) per the stats threading contract.
@@ -540,6 +608,22 @@ Runtime::startSampler()
                 row.push_back(est);
                 row.push_back(active);
                 row.push_back(on);
+            }
+            if (elastic_) {
+                double parked = 0.0;
+                for (std::size_t w = 0; w < workers_.size(); ++w) {
+                    const ShardLoadSnapshot s =
+                        elastic_->shardLoad(
+                            static_cast<unsigned>(w));
+                    row.push_back(s.busyFraction);
+                    row.push_back(
+                        static_cast<double>(s.ringDepthHwm));
+                    parked += s.parked ? 1.0 : 0.0;
+                }
+                const ElasticCounters ec = elastic_->counters();
+                row.push_back(static_cast<double>(ec.migrations));
+                row.push_back(static_cast<double>(ec.splits));
+                row.push_back(parked);
             }
             return row;
         });

@@ -35,6 +35,7 @@
 #include "obs/metrics.hh"
 #include "obs/perf.hh"
 #include "obs/sampler.hh"
+#include "runtime/elastic_controller.hh"
 #include "runtime/revalidator.hh"
 #include "runtime/rss.hh"
 #include "runtime/worker.hh"
@@ -114,6 +115,20 @@ struct RuntimeConfig
     /// (required for decoupled mode; also used by inline-upcall
     /// baselines). Read during construction only; may be null.
     const RuleSet *openflowRules = nullptr;
+    /**
+     * Elastic workers (DESIGN.md §17): a controller thread that
+     * aggregates per-shard load each epoch, migrates hot indirection
+     * buckets with the drain-then-remap protocol, splits dominant
+     * buckets (rss.maxTableEntries caps growth), and parks workers
+     * under sustained low load. Per-shard flow estimators are created
+     * even outside decoupled mode to feed the load snapshots. offer()
+     * additionally maintains the producer seqlock the migration grace
+     * period reads.
+     */
+    ElasticConfig elastic;
+    /// Intra-flow order oracle handed to every worker (null = off);
+    /// bench/test instrumentation, see runtime/order_validator.hh.
+    FlowOrderValidator *orderValidator = nullptr;
 };
 
 /** Lock-free aggregate view; coherent snapshot once workers quiesce. */
@@ -202,10 +217,19 @@ class Runtime
     Revalidator *revalidator() { return reval_.get(); }
     /** Null unless cfg.decoupled. */
     MpscRing<UpcallRequest> *upcallRing() { return upcallRing_.get(); }
-    /** Null unless cfg.emcPolicy.adaptive. */
+    /** Null unless cfg.emcPolicy.adaptive or cfg.elastic.enabled. */
     ShardFlowEstimator *flowEstimator(unsigned i)
     {
         return i < estimators_.size() ? estimators_[i].get() : nullptr;
+    }
+    /** Null unless cfg.elastic.enabled. */
+    ElasticController *elastic() { return elastic_.get(); }
+    /** Producer offer seqlock (odd = dispatch in flight); only bumped
+     *  when cfg.elastic.enabled. Exposed so tests can build their own
+     *  ElasticController::Hooks against a live runtime. */
+    const std::atomic<std::uint64_t> &offerSeq() const
+    {
+        return offerSeq_;
     }
 
     /** Spawn the worker threads. */
@@ -284,12 +308,16 @@ class Runtime
     std::vector<std::unique_ptr<ShardFlowEstimator>> estimators_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::unique_ptr<Revalidator> reval_;
+    std::unique_ptr<ElasticController> elastic_;
     std::thread producer_;
     std::unique_ptr<obs::Sampler> sampler_;
 
     PublishedCounter offered_;
     PublishedCounter enqueued_;
     PublishedCounter drops_;
+    /// Producer offer seqlock for the migration grace period (odd
+    /// while a dispatch's table-read+push is in flight).
+    std::atomic<std::uint64_t> offerSeq_{0};
 };
 
 } // namespace halo

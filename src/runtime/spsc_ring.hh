@@ -131,6 +131,15 @@ class SpscRing
 
     bool empty() const { return size() == 0; }
 
+    /** Any thread: monotone count of items ever accepted (the
+     *  producer's publish index). The elastic controller snapshots
+     *  this as the drain fence when migrating a bucket away from this
+     *  ring's consumer. */
+    std::uint64_t pushedCount() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
+
   private:
     /** Producer-side free-slot count; refreshes the cached head only
      *  when the cache cannot satisfy @p want slots. */

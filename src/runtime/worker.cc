@@ -82,6 +82,39 @@ void
 Worker::requestStop()
 {
     stop_.store(true, std::memory_order_release);
+    // A parked thread must see the stop: notify under the lock so the
+    // store cannot slip into the window between the condvar's predicate
+    // check and its wait.
+    {
+        std::lock_guard<std::mutex> lk(parkMtx_);
+    }
+    parkCv_.notify_all();
+}
+
+void
+Worker::requestPark()
+{
+    parkRequested_.store(true, std::memory_order_release);
+}
+
+void
+Worker::requestUnpark()
+{
+    {
+        std::lock_guard<std::mutex> lk(parkMtx_);
+        parkRequested_.store(false, std::memory_order_release);
+    }
+    parkCv_.notify_all();
+}
+
+bool
+Worker::armMigrationGate(const Worker *source, std::uint64_t fence)
+{
+    if (gateSource_.load(std::memory_order_acquire))
+        return false;
+    gateFence_.store(fence, std::memory_order_relaxed);
+    gateSource_.store(source, std::memory_order_release);
+    return true;
 }
 
 void
@@ -103,6 +136,7 @@ Worker::counters() const
     c.upcallsEnqueued = upcallsEnqueued_.value();
     c.promotesEnqueued = promotesEnqueued_.value();
     c.upcallDrops = upcallDrops_.value();
+    c.parks = parks_.value();
     return c;
 }
 
@@ -174,6 +208,41 @@ Worker::threadMain()
     }
 
     while (true) {
+        // Migration gate: a bucket is being remapped *to* this shard;
+        // hold all processing until the source worker has processed
+        // past the fence so the moved flows' older packets finish
+        // first. The gate always clears: the controller lowers the
+        // fence to the source ring's pushedCount, which the source
+        // reaches even on stop (drain guarantee).
+        if (const Worker *src =
+                gateSource_.load(std::memory_order_acquire)) {
+            if (src->counters().packets >=
+                gateFence_.load(std::memory_order_acquire)) {
+                gateSource_.store(nullptr, std::memory_order_release);
+            } else {
+                std::this_thread::yield();
+                continue;
+            }
+        }
+
+        // Park: controller remapped our buckets away and asked us to
+        // quiesce. Condvar wait (bounded, so a stray ring push or a
+        // missed edge can never wedge the thread) instead of the
+        // busy-poll yield loop.
+        if (parkRequested_.load(std::memory_order_acquire) &&
+            !stop_.load(std::memory_order_acquire) && ring_.empty()) {
+            std::unique_lock<std::mutex> lk(parkMtx_);
+            parked_.store(true, std::memory_order_release);
+            parks_.add(1);
+            while (parkRequested_.load(std::memory_order_acquire) &&
+                   !stop_.load(std::memory_order_acquire) &&
+                   ring_.empty()) {
+                parkCv_.wait_for(lk, std::chrono::milliseconds(1));
+            }
+            parked_.store(false, std::memory_order_release);
+            continue;
+        }
+
         const std::size_t n =
             ring_.popBatch(batchBuf_.data(), cfg.batchSize);
         if (n == 0) {
@@ -183,6 +252,36 @@ Worker::threadMain()
                 break;
             std::this_thread::yield();
             continue;
+        }
+
+        // Re-check the gate now that packets are in hand: the pre-pop
+        // check can miss a gate armed concurrently with the pop (the
+        // arm happens-before the producer's post-flip push, so a
+        // popped migrated packet implies this load sees the gate).
+        // Holding the batch until the gate clears delays packets but
+        // never reorders them.
+        while (const Worker *src =
+                   gateSource_.load(std::memory_order_acquire)) {
+            if (src->counters().packets >=
+                gateFence_.load(std::memory_order_acquire)) {
+                gateSource_.store(nullptr, std::memory_order_release);
+                break;
+            }
+            std::this_thread::yield();
+        }
+
+        // Occupancy at pop time = what we took plus what remains.
+        const std::uint64_t depth =
+            static_cast<std::uint64_t>(n) + ring_.size();
+        if (depth > ringHwm_.load(std::memory_order_relaxed))
+            ringHwm_.store(depth, std::memory_order_relaxed);
+
+        // Report processing order to the reorder oracle before
+        // classification (burst and scalar paths both consume the
+        // batch in index order).
+        if (cfg.orderValidator) [[unlikely]] {
+            for (std::size_t i = 0; i < n; ++i)
+                cfg.orderValidator->observe(batchBuf_[i]);
         }
 
         const auto wall0 = SteadyClock::now();

@@ -29,7 +29,9 @@
 #define HALO_RUNTIME_WORKER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,7 @@
 #include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "runtime/mpsc_ring.hh"
+#include "runtime/order_validator.hh"
 #include "runtime/spsc_ring.hh"
 #include "runtime/upcall.hh"
 #include "sim/stats.hh"
@@ -93,6 +96,10 @@ struct WorkerConfig
     bool perfEnabled = false;
     /// One full PMU group read per 2^shift scope entries per stage.
     unsigned perfSampleShift = 6;
+    /// Intra-flow order oracle (null = off): every popped packet is
+    /// reported in processing order before classification. Shared by
+    /// all workers; observe() is thread-safe.
+    FlowOrderValidator *orderValidator = nullptr;
 };
 
 /** Plain snapshot of a worker's published counters. */
@@ -111,6 +118,8 @@ struct WorkerCounters
     std::uint64_t promotesEnqueued = 0;
     /// Requests lost to a full upcall ring (drop-not-block).
     std::uint64_t upcallDrops = 0;
+    /// Times the thread entered the parked (condvar-wait) state.
+    std::uint64_t parks = 0;
 };
 
 class Worker
@@ -141,6 +150,58 @@ class Worker
 
     /** Lock-free snapshot; callable from any thread while running. */
     WorkerCounters counters() const;
+
+    /** @name Elastic-runtime control surface (controller thread)
+     *  Parking quiesces the busy-poll loop on a condvar once the ring
+     *  is drained; the migration gate stalls this worker's ring pops
+     *  until a source worker has processed past a fence, which is the
+     *  "drain" half of the drain-then-remap protocol. */
+    /**@{*/
+    /** Ask the thread to park once its ring is empty. The controller
+     *  must have remapped the indirection away first or stray arrivals
+     *  keep waking it. */
+    void requestPark();
+    /** Wake a parked thread (also safe when not parked). */
+    void requestUnpark();
+    bool parked() const
+    {
+        return parked_.load(std::memory_order_acquire);
+    }
+    bool parkRequested() const
+    {
+        return parkRequested_.load(std::memory_order_acquire);
+    }
+
+    /** Stall this worker's packet processing until @p source 's
+     *  processed packet count reaches @p fence. Armed *before* the
+     *  indirection flip with an unreachable hold fence; the controller
+     *  publishes the real fence (the source ring's pushedCount after
+     *  the producer grace) via setMigrationGateFence. The gate
+     *  self-clears on the worker thread. Returns false when a previous
+     *  gate is still armed. Controller thread only. */
+    bool armMigrationGate(const Worker *source, std::uint64_t fence);
+    /** Lower (or raise) an armed gate's fence. Controller thread. */
+    void setMigrationGateFence(std::uint64_t fence)
+    {
+        gateFence_.store(fence, std::memory_order_release);
+    }
+    bool migrationGateActive() const
+    {
+        return gateSource_.load(std::memory_order_acquire) != nullptr;
+    }
+
+    /** Epoch-and-reset read of the ring-occupancy high-watermark seen
+     *  at popBatch time (controller/sampler thread). */
+    std::uint64_t takeRingDepthHwm()
+    {
+        return ringHwm_.exchange(0, std::memory_order_relaxed);
+    }
+    /** Non-destructive read (metrics render). */
+    std::uint64_t ringDepthHwm() const
+    {
+        return ringHwm_.load(std::memory_order_relaxed);
+    }
+    /**@}*/
 
     /** @name Post-join accessors (exact, single-threaded again) */
     /**@{*/
@@ -183,6 +244,25 @@ class Worker
     std::thread thread_;
     std::atomic<bool> stop_{false};
 
+    /// Park lifecycle: request flag flipped by the controller, parked
+    /// state published by the worker, condvar for the sleep itself.
+    std::atomic<bool> parkRequested_{false};
+    std::atomic<bool> parked_{false};
+    std::mutex parkMtx_;
+    std::condition_variable parkCv_;
+
+    /// Migration gate. gateFence_ is written before the release store
+    /// to gateSource_ publishes it; the worker thread acquires
+    /// gateSource_ before reading the fence. The fence itself is
+    /// atomic because the controller lowers it from the hold value to
+    /// the real drain fence while the gate is armed.
+    std::atomic<std::uint64_t> gateFence_{0};
+    std::atomic<const Worker *> gateSource_{nullptr};
+
+    /// Ring occupancy high-watermark (worker relaxed-max, controller
+    /// exchange(0) per epoch).
+    std::atomic<std::uint64_t> ringHwm_{0};
+
     PublishedCounter packets_;
     PublishedCounter batches_;
     PublishedCounter matched_;
@@ -191,6 +271,7 @@ class Worker
     PublishedCounter upcallsEnqueued_;
     PublishedCounter promotesEnqueued_;
     PublishedCounter upcallDrops_;
+    PublishedCounter parks_;
 
     obs::HdrHistogram batchHist_;           ///< worker thread only
     std::unique_ptr<obs::TraceRecorder> trace_; ///< worker thread only

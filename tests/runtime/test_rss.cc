@@ -201,6 +201,191 @@ TEST(RssDispatcher, RegisterMetricsExposesRebalanceCounters)
 }
 
 /**
+ * The packed bucket word makes the indirection flip and the live-flow
+ * charge one transaction: with flow accounting oscillating a bucket
+ * between 0 and 1 flows while another thread remaps it, every remap
+ * can charge at most the single concurrent flow, and a consistent
+ * (shard, flows) pair is visible at every instant. The pre-fix racy
+ * shape (separate entry array and counter array) could pair a new
+ * mapping with a stale count. Runs under TSan in CI.
+ */
+TEST(RssDispatcher, SetEntryChargesFlowsTransactionallyUnderRace)
+{
+    RssConfig cfg;
+    cfg.numShards = 4;
+    cfg.tableEntries = 16;
+    RssDispatcher rss(cfg);
+
+    Xoshiro256 rng(0xabba);
+    const FiveTuple hot = randomTuple(rng);
+    const unsigned bucket = rss.bucketFor(hot);
+
+    std::atomic<bool> done{false};
+    std::thread churn([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            rss.noteNewFlow(hot);
+            rss.noteFlowEnd(hot);
+        }
+    });
+
+    const std::uint64_t kFlips = 20000;
+    for (std::uint64_t i = 0; i < kFlips; ++i) {
+        const RssDispatcher::BucketState st = rss.bucketState(bucket);
+        ASSERT_LT(st.shard, cfg.numShards);
+        ASSERT_LE(st.flows, 1u); // never torn, never wrapped
+        rss.setEntry(bucket,
+                     static_cast<unsigned>(i % cfg.numShards));
+    }
+    done.store(true, std::memory_order_release);
+    churn.join();
+
+    // Each flip that changed the shard charged the flows packed in the
+    // replaced word — at most the one concurrently live flow.
+    EXPECT_LE(rss.flowsMoved(), rss.rebalances());
+    EXPECT_EQ(rss.bucketFlowCount(bucket), 0u);
+}
+
+/**
+ * Hot-bucket splitting: growTable() doubles the active table in place.
+ * Every new upper-half bucket inherits its parent's shard (so a split
+ * never moves a flow between shards and needs no migration protocol),
+ * parent live-flow counts are split evenly, and steering for every
+ * tuple is unchanged.
+ */
+TEST(RssDispatcher, GrowTableSplitsBucketsInPlace)
+{
+    RssConfig cfg;
+    cfg.numShards = 4;
+    cfg.tableEntries = 8;
+    cfg.maxTableEntries = 32;
+    RssDispatcher rss(cfg);
+    ASSERT_EQ(rss.tableEntries(), 8u);
+    ASSERT_EQ(rss.maxTableEntries(), 32u);
+
+    Xoshiro256 rng(0x9191);
+    const FiveTuple t = randomTuple(rng);
+    const unsigned parent = rss.bucketFor(t);
+    for (int i = 0; i < 5; ++i)
+        rss.noteNewFlow(t);
+    ASSERT_EQ(rss.bucketFlowCount(parent), 5u);
+
+    // Record the steering of a tuple population before the split.
+    std::vector<FiveTuple> tuples;
+    std::vector<unsigned> shardBefore;
+    for (int i = 0; i < 500; ++i) {
+        tuples.push_back(randomTuple(rng));
+        shardBefore.push_back(rss.shardFor(tuples.back()));
+    }
+
+    ASSERT_TRUE(rss.growTable());
+    EXPECT_EQ(rss.tableEntries(), 16u);
+    EXPECT_EQ(rss.tableGrows(), 1u);
+
+    // Children inherit the parent shard; flows split between the pair.
+    for (unsigned b = 0; b < 8; ++b)
+        EXPECT_EQ(rss.entry(b + 8), rss.entry(b)) << "bucket " << b;
+    EXPECT_EQ(rss.bucketFlowCount(parent) +
+                  rss.bucketFlowCount(parent + 8),
+              5u);
+
+    // No tuple changed shards (it may have changed buckets).
+    for (std::size_t i = 0; i < tuples.size(); ++i)
+        ASSERT_EQ(rss.shardFor(tuples[i]), shardBefore[i]);
+
+    // Growth stops at the pre-allocated ceiling.
+    EXPECT_TRUE(rss.growTable()); // 32
+    EXPECT_EQ(rss.tableEntries(), 32u);
+    EXPECT_FALSE(rss.growTable());
+    EXPECT_EQ(rss.tableEntries(), 32u);
+    EXPECT_EQ(rss.tableGrows(), 2u);
+
+    // maxTableEntries = 0 means no growth at all.
+    RssConfig fixed;
+    fixed.tableEntries = 8;
+    RssDispatcher rssFixed(fixed);
+    EXPECT_FALSE(rssFixed.growTable());
+}
+
+/** Per-bucket heat: notePacket accumulates, takeBucketPackets drains. */
+TEST(RssDispatcher, BucketPacketHeatCountersDrainOnTake)
+{
+    RssConfig cfg;
+    cfg.numShards = 2;
+    cfg.tableEntries = 8;
+    RssDispatcher rss(cfg);
+
+    for (int i = 0; i < 7; ++i)
+        rss.notePacket(3);
+    rss.notePacket(5);
+    EXPECT_EQ(rss.takeBucketPackets(3), 7u);
+    EXPECT_EQ(rss.takeBucketPackets(3), 0u); // drained
+    EXPECT_EQ(rss.takeBucketPackets(5), 1u);
+    EXPECT_EQ(rss.takeBucketPackets(0), 0u);
+}
+
+TEST(RssDispatcher, RegisterMetricsExposesGrowthAndBucketGauges)
+{
+    RssConfig cfg;
+    cfg.numShards = 2;
+    cfg.tableEntries = 4;
+    cfg.maxTableEntries = 8;
+    RssDispatcher rss(cfg);
+    Xoshiro256 rng(0x88);
+    const FiveTuple t = randomTuple(rng);
+    rss.noteNewFlow(t);
+    ASSERT_TRUE(rss.growTable());
+
+    obs::MetricsRegistry reg;
+    rss.registerMetrics(reg);
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("halo_rss_table_grows 1"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("halo_rss_bucket_flows"), std::string::npos)
+        << text;
+}
+
+/**
+ * Table growth racing live dispatch: a dispatcher thread steers and
+ * churns flows while the controller doubles the table twice. The
+ * widened mask must never expose an uninitialized bucket (dispatch
+ * keeps returning valid shard ids). Runs under TSan in CI.
+ */
+TEST(RssDispatcher, GrowTableDuringDispatchIsSafe)
+{
+    RssConfig cfg;
+    cfg.numShards = 4;
+    cfg.tableEntries = 16;
+    cfg.maxTableEntries = 128;
+    RssDispatcher rss(cfg);
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> dispatched{0};
+    std::thread dispatcher([&] {
+        Xoshiro256 rng(0x6666);
+        while (!done.load(std::memory_order_acquire)) {
+            const FiveTuple t = randomTuple(rng);
+            ASSERT_LT(rss.shardFor(t), cfg.numShards);
+            rss.notePacket(rss.bucketFor(t));
+            rss.noteNewFlow(t);
+            rss.noteFlowEnd(t);
+            dispatched.fetch_add(1, std::memory_order_release);
+        }
+    });
+    while (dispatched.load(std::memory_order_acquire) < 100)
+        std::this_thread::yield();
+    while (rss.growTable()) {
+        // Heat drain interleaves with growth in the real controller.
+        for (unsigned b = 0; b < rss.tableEntries(); ++b)
+            rss.takeBucketPackets(b);
+    }
+    done.store(true, std::memory_order_release);
+    dispatcher.join();
+
+    EXPECT_EQ(rss.tableEntries(), 128u);
+    EXPECT_EQ(rss.tableGrows(), 3u);
+}
+
+/**
  * Live rebalance under churn: a dispatcher thread steers random
  * tuples and tracks flow setup/teardown while another thread remaps
  * indirection-table buckets — the production shape of a rebalance

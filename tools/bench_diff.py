@@ -157,12 +157,44 @@ def extract_flowscale(doc):
     return out
 
 
+def extract_elastic(doc):
+    out = []
+    for top in ("headline_elastic_over_static",
+                "uniform_elastic_over_static"):
+        if _num(doc.get(top)):
+            out.append(Metric(top, doc[top], TIMING, HIGHER))
+    for run in doc.get("runs", []):
+        key = "runs[%s,workers=%s,skew=%s]" % (
+            run.get("mode"), run.get("workers"), run.get("zipf_skew"))
+        # The drain-then-remap ordering invariant is deterministic:
+        # migrations must never reorder a flow's packets. Committed
+        # baselines gate it exactly even under --no-timing.
+        # (gate_timeouts is deliberately NOT gated: it counts bounded
+        # controller waits that expired under CPU oversubscription —
+        # scheduling noise, not a correctness signal.)
+        if _num(run.get("reorder_violations")):
+            out.append(Metric("%s.reorder_violations" % key,
+                              run["reorder_violations"], DETERMINISTIC,
+                              LOWER))
+        if _num(run.get("effective_pps")):
+            out.append(Metric("%s.effective_pps" % key,
+                              run["effective_pps"], TIMING, HIGHER))
+    for pair in doc.get("pairs", []):
+        key = "pairs[workers=%s,skew=%s]" % (pair.get("workers"),
+                                             pair.get("zipf_skew"))
+        if _num(pair.get("speedup")):
+            out.append(Metric("%s.speedup" % key, pair["speedup"],
+                              TIMING, HIGHER))
+    return out
+
+
 EXTRACTORS = {
     "cuckoo_miss_sweep": extract_cuckoo_miss_sweep,
     "host_throughput": extract_host_throughput,
     "multiworker_throughput": extract_multiworker,
     "churn_throughput": extract_churn,
     "flowscale_throughput": extract_flowscale,
+    "elastic_throughput": extract_elastic,
 }
 
 

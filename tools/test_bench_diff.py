@@ -158,6 +158,30 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(rc, 1, out)
         self.assertIn("stream_distinct_flows", out)
 
+    def test_elastic_extractor(self):
+        base = {"benchmark": "elastic_throughput",
+                "meta": dict(META),
+                "headline_elastic_over_static": 1.6,
+                "uniform_elastic_over_static": 1.0,
+                "runs": [{"mode": "elastic", "workers": 4,
+                          "zipf_skew": 1.3,
+                          "effective_pps": 70000.0,
+                          "reorder_violations": 0,
+                          "gate_timeouts": 0}],
+                "pairs": [{"workers": 4, "zipf_skew": 1.3,
+                           "speedup": 1.6}]}
+        # Ordering invariants gate even across hosts / --no-timing;
+        # effective pps and speedups do not.
+        cur = json.loads(json.dumps(base))
+        cur["runs"][0]["effective_pps"] = 100.0
+        cur["pairs"][0]["speedup"] = 0.5
+        rc, out = self._run(base, cur, "--no-timing")
+        self.assertEqual(rc, 0, out)
+        cur["runs"][0]["reorder_violations"] = 3
+        rc, out = self._run(base, cur, "--no-timing")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("reorder_violations", out)
+
     def test_unknown_benchmark_is_noop(self):
         doc = {"benchmark": "mystery", "meta": dict(META)}
         rc, out = self._run(doc, doc)
